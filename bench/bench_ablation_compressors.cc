@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablation across compression schemes (the paper's §2 related work,
+ * quantified on our benchmarks): CodePack vs CCRP-style per-byte
+ * Huffman lines vs Lefurgy'97 whole-instruction dictionary.
+ *
+ * Two views: static compression ratio (including each scheme's table
+ * overheads) and end-to-end 4-issue performance relative to native
+ * code, with every scheme's decompressor on the L1 miss path.
+ *
+ * Expected shape (paper §2): CCRP compresses worst once its LAT is
+ * charged and decodes slowest (byte-serial Huffman); dict32 compresses
+ * about as well as CodePack but needs a dictionary an order of
+ * magnitude larger.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "compress/ccrp.hh"
+#include "compress/dict32.hh"
+#include "harness/suite.hh"
+
+using namespace cps;
+
+namespace
+{
+
+std::vector<u32>
+textWords(const Program &prog)
+{
+    std::vector<u32> words;
+    words.reserve(prog.textWords());
+    for (size_t i = 0; i < prog.textWords(); ++i)
+        words.push_back(prog.word(i));
+    return words;
+}
+
+/** Runs a benchmark with a line-codec fetch path on the 4-issue core. */
+RunResult
+runWithCodec(const BenchProgram &bench, const compress::LineCodec &codec)
+{
+    MachineConfig cfg = baseline4Issue();
+    MainMemory mem(cfg.mem);
+    mem.loadSegment(bench.program.text);
+    mem.loadSegment(bench.program.data);
+    DecodedText text(bench.program);
+    Executor exec(text, mem);
+    exec.reset(bench.program);
+    StatSet stats;
+    compress::LineCompressedFetchPath fetch(cfg.icache, codec, mem,
+                                            stats);
+    DataPath data(cfg.dcache, mem, stats);
+    OoOPipeline pipe(cfg.pipeline, exec, fetch, data, stats);
+    return pipe.run(Suite::runInsns());
+}
+
+} // namespace
+
+int
+main()
+{
+    u64 insns = Suite::runInsns();
+    Suite &suite = Suite::instance();
+
+    TextTable ratios;
+    ratios.setTitle("Ablation A: compression ratio by scheme "
+                    "(all overheads included)");
+    ratios.addHeader({"Bench", "CodePack", "CCRP (byte Huffman)",
+                      "dict32 (Lefurgy'97)", "dict32 entries"});
+
+    TextTable perf;
+    perf.setTitle("Ablation B: speedup over native (4-issue baseline "
+                  "machine)");
+    perf.addHeader({"Bench", "CodePack opt", "CCRP", "dict32"});
+
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        auto words = textWords(bench.program);
+
+        compress::CcrpImage ccrp =
+            compress::CcrpImage::compress(words, bench.program.text.base);
+        compress::Dict32Image d32 = compress::Dict32Image::compress(
+            words, bench.program.text.base);
+
+        ratios.addRow(
+            {name, TextTable::pct(bench.image.compressionRatio()),
+             TextTable::pct(ccrp.compressionRatio()),
+             TextTable::pct(d32.compressionRatio()),
+             TextTable::grouped(d32.dictionaryEntries())});
+
+        RunOutcome native = runMachine(bench, baseline4Issue(), insns);
+        RunOutcome cp_opt = runMachine(
+            bench,
+            baseline4Issue().withCodeModel(CodeModel::CodePackOptimized),
+            insns);
+        RunResult ccrp_run = runWithCodec(bench, ccrp);
+        RunResult d32_run = runWithCodec(bench, d32);
+
+        auto rel = [&native](const RunResult &r) {
+            return TextTable::fmt(
+                static_cast<double>(native.result.cycles) /
+                    static_cast<double>(r.cycles),
+                3);
+        };
+        perf.addRow({name,
+                     TextTable::fmt(speedup(native, cp_opt), 3),
+                     rel(ccrp_run), rel(d32_run)});
+    }
+
+    ratios.print();
+    std::printf("\n");
+    perf.print();
+    return 0;
+}

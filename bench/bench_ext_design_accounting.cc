@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Extension experiment: accounting for CodePack's individual design
+ * choices, per benchmark:
+ *
+ *   - the 2-bit codeword for the low halfword 0 (vs spending a normal
+ *     bank-0 codeword on it),
+ *   - the raw-block escape (vs compressing expanding blocks anyway),
+ *   - dictionary bank utilization (how full each bank is and what share
+ *     of halfwords it captures).
+ *
+ * These are the "ablation benches for the design choices DESIGN.md
+ * calls out".
+ */
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/table.hh"
+#include "harness/suite.hh"
+
+using namespace cps;
+using codepack::CompressedImage;
+using codepack::CompressorConfig;
+using codepack::HalfEncoding;
+
+int
+main()
+{
+    Suite &suite = Suite::instance();
+
+    TextTable zero;
+    zero.setTitle("Design choice A: the 2-bit low-zero codeword");
+    zero.addHeader({"Bench", "lo==0 share", "bits saved", "ratio delta"});
+
+    TextTable escape;
+    escape.setTitle("Design choice B: the raw-block escape");
+    escape.addHeader({"Bench", "raw blocks", "ratio with escape",
+                      "ratio without"});
+
+    TextTable banks;
+    banks.setTitle("Design choice C: dictionary bank capture "
+                   "(share of all halfwords)");
+    banks.addHeader({"Bench", "hi b0", "hi b1", "hi b2", "hi b3",
+                     "hi raw", "lo zero", "lo b0", "lo b1", "lo b2",
+                     "lo raw"});
+
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        const CompressedImage &img = bench.image;
+        const Program &prog = bench.program;
+
+        // Recount halfword traffic against the shipped dictionaries.
+        u64 lo_zero = 0, total = 0;
+        u64 hi_bank[5] = {}; // 4 banks + raw
+        u64 lo_bank[4] = {}; // 3 banks + raw
+        for (size_t i = 0; i < prog.textWords(); ++i) {
+            u32 w = prog.word(i);
+            u16 hi = static_cast<u16>(w >> 16);
+            u16 lo = static_cast<u16>(w & 0xffff);
+            ++total;
+            HalfEncoding he = img.highDict.encode(hi);
+            ++hi_bank[he.raw ? 4 : he.bank];
+            HalfEncoding le = img.lowDict.encode(lo);
+            if (le.zeroSpecial)
+                ++lo_zero;
+            else
+                ++lo_bank[le.raw ? 3 : le.bank];
+        }
+
+        // A: what would lo==0 cost through bank 0 (6-bit codeword)?
+        u64 saved_bits = lo_zero * (6 - 2);
+        double ratio_delta =
+            static_cast<double>(saved_bits) / 8.0 /
+            static_cast<double>(img.origTextBytes);
+        zero.addRow({name,
+                     TextTable::pct(static_cast<double>(lo_zero) /
+                                    static_cast<double>(total)),
+                     TextTable::grouped(saved_bits),
+                     strfmt("-%.2f points", 100.0 * ratio_delta)});
+
+        // B: recompress without the escape.
+        u64 raw_blocks = 0;
+        for (const codepack::BlockExtent &b : img.blocks)
+            raw_blocks += b.raw;
+        CompressorConfig no_escape;
+        no_escape.allowRawBlocks = false;
+        std::vector<u32> words;
+        for (size_t i = 0; i < prog.textWords(); ++i)
+            words.push_back(prog.word(i));
+        CompressedImage without =
+            codepack::compressWords(words, prog.text.base, no_escape);
+        escape.addRow({name, TextTable::grouped(raw_blocks),
+                       TextTable::pct(img.compressionRatio()),
+                       TextTable::pct(without.compressionRatio())});
+
+        // C: bank capture shares.
+        auto pct = [&](u64 n) {
+            return TextTable::pct(static_cast<double>(n) /
+                                  static_cast<double>(total));
+        };
+        banks.addRow({name, pct(hi_bank[0]), pct(hi_bank[1]),
+                      pct(hi_bank[2]), pct(hi_bank[3]), pct(hi_bank[4]),
+                      pct(lo_zero), pct(lo_bank[0]), pct(lo_bank[1]),
+                      pct(lo_bank[2]), pct(lo_bank[3])});
+    }
+
+    zero.print();
+    std::printf("\n");
+    escape.print();
+    std::printf("\n");
+    banks.print();
+    return 0;
+}

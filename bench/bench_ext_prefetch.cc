@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Extension experiment: is CodePack's speedup "just prefetching"?
+ *
+ * The paper attributes part of the optimized decompressor's win to its
+ * implicit block prefetch ("CodePack implements prefetching behavior
+ * that the underlying processor does not have"). Here native code gets a
+ * sequential next-line prefetcher of its own, so the four-way
+ * comparison separates the bandwidth effect of compression from the
+ * prefetching effect:
+ *
+ *   native | native+prefetch | CodePack optimized     (4-issue)
+ *
+ * If compression itself matters, optimized CodePack should keep an edge
+ * over native+prefetch on narrow/slow memory systems even though both
+ * now prefetch.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "harness/suite.hh"
+
+using namespace cps;
+
+int
+main()
+{
+    u64 insns = Suite::runInsns();
+    Suite &suite = Suite::instance();
+
+    TextTable t;
+    t.setTitle("Extension: native next-line prefetch vs CodePack "
+               "(speedup over plain native, 4-issue)");
+    t.addHeader({"Bench", "Native+prefetch (64b)", "CP opt (64b)",
+                 "Native+prefetch (16b)", "CP opt (16b)"});
+
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        std::vector<std::string> row{name};
+        for (unsigned bus : {64u, 16u}) {
+            MachineConfig native = baseline4Issue();
+            native.mem.busWidthBits = bus;
+            RunOutcome rn = runMachine(bench, native, insns);
+            RunOutcome rp = runMachine(
+                bench, native.withCodeModel(CodeModel::NativePrefetch),
+                insns);
+            RunOutcome ro = runMachine(
+                bench,
+                native.withCodeModel(CodeModel::CodePackOptimized),
+                insns);
+            row.push_back(TextTable::fmt(speedup(rn, rp), 3));
+            row.push_back(TextTable::fmt(speedup(rn, ro), 3));
+        }
+        t.addRow(row);
+    }
+    t.print();
+
+    std::printf("\nReading: where native+prefetch matches optimized "
+                "CodePack, the win was\nprefetching; where CodePack "
+                "stays ahead (narrow buses), compression's\nbandwidth "
+                "advantage is doing real work.\n");
+    return 0;
+}

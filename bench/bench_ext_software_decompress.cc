@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Extension experiment (paper §6 future work): completely
+ * software-managed decompression. An I-cache miss traps to a handler on
+ * the core that loads the index, DMAs the compressed block, decodes it
+ * in software and returns. How attractive is that for "resource limited
+ * computers", and how fast must the handler be to compete?
+ *
+ * Sweeps the handler's per-instruction decode cost on the 1-issue
+ * embedded machine (speedup over native code); hardware baseline and
+ * optimized decompressors shown for reference.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "harness/suite.hh"
+
+using namespace cps;
+
+int
+main()
+{
+    u64 insns = Suite::runInsns();
+    Suite &suite = Suite::instance();
+
+    TextTable t;
+    t.setTitle("Extension: software-managed decompression "
+               "(speedup over native, 1-issue embedded machine)");
+    t.addHeader({"Bench", "HW base", "HW opt", "SW 4 cyc/insn",
+                 "SW 8 cyc/insn", "SW 16 cyc/insn"});
+
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        RunOutcome native = runMachine(bench, baseline1Issue(), insns);
+        RunOutcome hw_base = runMachine(
+            bench, baseline1Issue().withCodeModel(CodeModel::CodePack),
+            insns);
+        RunOutcome hw_opt = runMachine(
+            bench,
+            baseline1Issue().withCodeModel(CodeModel::CodePackOptimized),
+            insns);
+
+        std::vector<std::string> row{
+            name, TextTable::fmt(speedup(native, hw_base), 3),
+            TextTable::fmt(speedup(native, hw_opt), 3)};
+        for (Cycle per_insn : {4u, 8u, 16u}) {
+            MachineConfig cfg = baseline1Issue().withCodeModel(
+                CodeModel::CodePackSoftware);
+            cfg.software.cyclesPerInsn = per_insn;
+            RunOutcome sw = runMachine(bench, cfg, insns);
+            row.push_back(TextTable::fmt(speedup(native, sw), 3));
+        }
+        t.addRow(row);
+    }
+    t.print();
+
+    std::printf("\nReading: software decompression is viable exactly "
+                "where the paper\nsuggests (low-miss-rate embedded "
+                "codes); on the miss-heavy benchmarks the\nhandler "
+                "overhead multiplies every miss.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Table 11: sensitivity to main-memory bus width (16/32/64/
+ * 128 bits) on the 4-issue machine; speedup over native with the same
+ * bus.
+ *
+ * Paper shape: compression wins on narrow buses (fewer bytes to move);
+ * as the bus widens native code catches up and eventually wins (the
+ * decompression latency stops being hidden by fetch).
+ */
+
+#include "common/table.hh"
+#include "harness/suite.hh"
+
+using namespace cps;
+
+int
+main()
+{
+    u64 insns = Suite::runInsns();
+    Suite &suite = Suite::instance();
+
+    const unsigned widths[] = {16, 32, 64, 128};
+
+    TextTable t;
+    t.setTitle("Table 11: Performance change by memory width "
+               "(speedup over native with the same bus, 4-issue)");
+    t.addHeader({"Bench", "16b CP", "16b Opt", "32b CP", "32b Opt",
+                 "64b CP", "64b Opt", "128b CP", "128b Opt"});
+
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        std::vector<std::string> row{name};
+        for (unsigned w : widths) {
+            MachineConfig native = baseline4Issue();
+            native.mem.busWidthBits = w;
+            RunOutcome rn = runMachine(bench, native, insns);
+            RunOutcome rc = runMachine(
+                bench, native.withCodeModel(CodeModel::CodePack), insns);
+            RunOutcome ro = runMachine(
+                bench,
+                native.withCodeModel(CodeModel::CodePackOptimized),
+                insns);
+            row.push_back(TextTable::fmt(speedup(rn, rc), 3));
+            row.push_back(TextTable::fmt(speedup(rn, ro), 3));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    return 0;
+}

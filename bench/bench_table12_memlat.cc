@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Table 12: sensitivity to main-memory latency (0.5x / 1x /
+ * 2x / 4x / 8x of the baseline's 10-cycle first access, 2-cycle rate) on
+ * the 4-issue machine; speedup over native with the same latency.
+ *
+ * Paper shape: as memory slows down the optimized decompressor pulls
+ * ahead of native code — it needs fewer of the (now very expensive)
+ * main-memory accesses.
+ */
+
+#include "common/table.hh"
+#include "harness/suite.hh"
+
+using namespace cps;
+
+int
+main()
+{
+    u64 insns = Suite::runInsns();
+    Suite &suite = Suite::instance();
+
+    struct Lat { const char *label; Cycle first; Cycle rate; };
+    const Lat lats[] = {
+        {"0.5x", 5, 1}, {"1x", 10, 2}, {"2x", 20, 4},
+        {"4x", 40, 8}, {"8x", 80, 16},
+    };
+
+    TextTable t;
+    t.setTitle("Table 12: Performance change due to memory latency "
+               "(speedup over native with the same latency, 4-issue)");
+    std::vector<std::string> header{"Bench"};
+    for (const Lat &l : lats) {
+        header.push_back(std::string(l.label) + " CP");
+        header.push_back(std::string(l.label) + " Opt");
+    }
+    t.addHeader(header);
+
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        std::vector<std::string> row{name};
+        for (const Lat &l : lats) {
+            MachineConfig native = baseline4Issue();
+            native.mem.firstAccess = l.first;
+            native.mem.beatRate = l.rate;
+            RunOutcome rn = runMachine(bench, native, insns);
+            RunOutcome rc = runMachine(
+                bench, native.withCodeModel(CodeModel::CodePack), insns);
+            RunOutcome ro = runMachine(
+                bench,
+                native.withCodeModel(CodeModel::CodePackOptimized),
+                insns);
+            row.push_back(TextTable::fmt(speedup(rn, rc), 3));
+            row.push_back(TextTable::fmt(speedup(rn, ro), 3));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    return 0;
+}

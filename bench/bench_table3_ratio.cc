@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces Table 3: compression ratio of the .text section (compressed
+ * size includes index table and dictionaries, per Eq. 1 of the paper).
+ *
+ * Paper values: cc1 60.5%, go 58.9%, mpeg2enc 63.1%, pegwit 61.1%,
+ * perl 60.6%, vortex 55.4% (sizes as printed in Table 3).
+ */
+
+#include "common/table.hh"
+#include "harness/suite.hh"
+
+using namespace cps;
+
+int
+main()
+{
+    Suite &suite = Suite::instance();
+
+    TextTable t;
+    t.setTitle("Table 3: Compression ratio of .text section");
+    t.addHeader({"Bench", "Original (bytes)", "Compressed (bytes)",
+                 "Ratio (smaller is better)", "Paper ratio"});
+
+    const char *paper[] = {"60.5%", "58.9%", "63.1%",
+                           "61.1%", "60.6%", "55.4%"};
+    int row = 0;
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        const codepack::CompressedImage &img = bench.image;
+        t.addRow({name, TextTable::grouped(img.origTextBytes),
+                  TextTable::grouped(img.comp.totalBytes()),
+                  TextTable::pct(img.compressionRatio()),
+                  paper[row++]});
+    }
+    t.print();
+    return 0;
+}

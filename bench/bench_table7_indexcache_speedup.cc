@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Table 7: speedup over native code from the index-cache
+ * optimization alone, on the 4-issue machine — baseline CodePack, a
+ * 64x4 fully-associative index cache, and a perfect index cache.
+ *
+ * Paper shape: the index cache recovers most of baseline CodePack's
+ * loss; the perfect cache adds only a little more (its benefit is
+ * bounded by how often indexes are re-fetched).
+ */
+
+#include "common/table.hh"
+#include "harness/suite.hh"
+
+using namespace cps;
+
+int
+main()
+{
+    u64 insns = Suite::runInsns();
+    Suite &suite = Suite::instance();
+
+    TextTable t;
+    t.setTitle("Table 7: Speedup due to index cache "
+               "(over native, 4-issue)");
+    t.addHeader({"Bench", "CodePack", "Index Cache (64x4)", "Perfect"});
+
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        RunOutcome native = runMachine(bench, baseline4Issue(), insns);
+
+        RunOutcome base = runMachine(
+            bench, baseline4Issue().withCodeModel(CodeModel::CodePack),
+            insns);
+
+        MachineConfig idx_cfg = baseline4Issue();
+        idx_cfg.codeModel = CodeModel::CodePackCustom;
+        idx_cfg.decomp.indexCacheLines = 64;
+        idx_cfg.decomp.indexesPerLine = 4;
+        idx_cfg.decomp.burstIndexFill = true;
+        RunOutcome idx = runMachine(bench, idx_cfg, insns);
+
+        MachineConfig perf_cfg = baseline4Issue();
+        perf_cfg.codeModel = CodeModel::CodePackCustom;
+        perf_cfg.decomp.perfectIndexCache = true;
+        RunOutcome perf = runMachine(bench, perf_cfg, insns);
+
+        t.addRow({name, TextTable::fmt(speedup(native, base), 3),
+                  TextTable::fmt(speedup(native, idx), 3),
+                  TextTable::fmt(speedup(native, perf), 3)});
+    }
+    t.print();
+    return 0;
+}

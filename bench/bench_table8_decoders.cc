@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Table 8: speedup over native from widening the decoder
+ * alone (1 = baseline, 2, and 16 decompressors per cycle; 16 is the
+ * fastest possible since a block holds 16 instructions).
+ *
+ * Paper shape: most of the available benefit arrives with just 2
+ * decoders; 16 adds almost nothing (fetch dominates decode).
+ */
+
+#include "common/table.hh"
+#include "harness/suite.hh"
+
+using namespace cps;
+
+int
+main()
+{
+    u64 insns = Suite::runInsns();
+    Suite &suite = Suite::instance();
+
+    TextTable t;
+    t.setTitle("Table 8: Speedup due to decompression rate "
+               "(over native, 4-issue)");
+    t.addHeader({"Bench", "CodePack (1)", "2 decoders", "16 decoders"});
+
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        RunOutcome native = runMachine(bench, baseline4Issue(), insns);
+
+        std::vector<std::string> row{name};
+        for (unsigned rate : {1u, 2u, 16u}) {
+            MachineConfig cfg = baseline4Issue();
+            cfg.codeModel = CodeModel::CodePackCustom;
+            cfg.decomp = codepack::DecompressorConfig{}; // baseline idx
+            cfg.decomp.decodeRate = rate;
+            RunOutcome out = runMachine(bench, cfg, insns);
+            row.push_back(TextTable::fmt(speedup(native, out), 3));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces Table 9: the two optimizations individually and combined,
+ * as speedup over native on the 4-issue machine.
+ *
+ * Paper shape: the index cache helps more than the wider decoder; both
+ * together ("All") recover (and for go/perl/vortex slightly exceed)
+ * native performance.
+ */
+
+#include "common/table.hh"
+#include "harness/suite.hh"
+
+using namespace cps;
+
+int
+main()
+{
+    u64 insns = Suite::runInsns();
+    Suite &suite = Suite::instance();
+
+    TextTable t;
+    t.setTitle("Table 9: Comparison of optimizations "
+               "(speedup over native, 4-issue)");
+    t.addHeader({"Bench", "CodePack", "Index", "Decompress", "All"});
+
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        RunOutcome native = runMachine(bench, baseline4Issue(), insns);
+
+        RunOutcome base = runMachine(
+            bench, baseline4Issue().withCodeModel(CodeModel::CodePack),
+            insns);
+
+        MachineConfig idx_cfg = baseline4Issue();
+        idx_cfg.codeModel = CodeModel::CodePackCustom;
+        idx_cfg.decomp.indexCacheLines = 64;
+        idx_cfg.decomp.indexesPerLine = 4;
+        idx_cfg.decomp.burstIndexFill = true;
+        RunOutcome idx = runMachine(bench, idx_cfg, insns);
+
+        MachineConfig dec_cfg = baseline4Issue();
+        dec_cfg.codeModel = CodeModel::CodePackCustom;
+        dec_cfg.decomp.decodeRate = 2;
+        RunOutcome dec = runMachine(bench, dec_cfg, insns);
+
+        RunOutcome all = runMachine(
+            bench,
+            baseline4Issue().withCodeModel(CodeModel::CodePackOptimized),
+            insns);
+
+        t.addRow({name, TextTable::fmt(speedup(native, base), 3),
+                  TextTable::fmt(speedup(native, idx), 3),
+                  TextTable::fmt(speedup(native, dec), 3),
+                  TextTable::fmt(speedup(native, all), 3)});
+    }
+    t.print();
+    return 0;
+}

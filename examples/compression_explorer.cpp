@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Compression explorer: a walk through the CodePack format (the paper's
+ * Figure 1) on a real benchmark.
+ *
+ *   - dictionary bank populations and the hottest halfword values,
+ *   - a single compression block decoded codeword by codeword,
+ *   - the index-table entry that locates it,
+ *   - the Table 4 composition breakdown.
+ *
+ * Build & run:  ./build/examples/compression_explorer [bench]
+ */
+
+#include <cstdio>
+
+#include "codepack/decompressor.hh"
+#include "common/table.hh"
+#include "harness/suite.hh"
+#include "isa/isa.hh"
+
+using namespace cps;
+using codepack::CompressedImage;
+using codepack::Decompressor;
+using codepack::HalfEncoding;
+
+namespace
+{
+
+void
+dumpDictionaries(const CompressedImage &img)
+{
+    std::printf("Dictionaries (fixed at program load time)\n");
+    std::printf("-----------------------------------------\n");
+    const struct { const char *label; const codepack::Dictionary &dict; }
+        dicts[] = {{"high", img.highDict}, {"low", img.lowDict}};
+    for (const auto &d : dicts) {
+        std::printf("%s halfword dictionary: %u entries, %llu bits of "
+                    "storage\n",
+                    d.label, d.dict.totalEntries(),
+                    static_cast<unsigned long long>(d.dict.storageBits()));
+        for (unsigned b = 0; b < d.dict.numBanks(); ++b) {
+            const auto &entries = d.dict.bankEntries(b);
+            std::printf("  bank %u (%u-bit codewords): %zu entries",
+                        b, d.dict.banks()[b].codeBits(), entries.size());
+            if (!entries.empty()) {
+                std::printf(", hottest:");
+                for (size_t i = 0; i < std::min<size_t>(4, entries.size());
+                     ++i)
+                    std::printf(" 0x%04x", entries[i]);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n");
+}
+
+void
+dumpBlock(const CompressedImage &img, u32 group, u32 block)
+{
+    Decompressor d(img);
+    codepack::DecodedBlock blk = d.decompressBlock(group, block);
+    u32 entry = img.indexTable[group];
+
+    std::printf("Compression group %u, block %u\n", group, block);
+    std::printf("--------------------------------\n");
+    std::printf("index entry 0x%08x: first offset %u, second offset "
+                "+%u%s%s\n",
+                entry, codepack::idxFirstOffset(entry),
+                codepack::idxSecondOffset(entry),
+                codepack::idxFirstRaw(entry) ? ", block0 RAW" : "",
+                codepack::idxSecondRaw(entry) ? ", block1 RAW" : "");
+    std::printf("compressed bytes [%u, %u)\n\n", blk.byteOffset,
+                blk.byteOffset + blk.byteLen);
+
+    Addr base = img.textBase +
+                (group * codepack::kGroupInsns +
+                 block * codepack::kBlockInsns) * 4;
+    u32 prev_end = 0;
+    for (unsigned i = 0; i < codepack::kBlockInsns; ++i) {
+        u32 word = blk.words[i];
+        u16 hi = static_cast<u16>(word >> 16);
+        u16 lo = static_cast<u16>(word & 0xffff);
+        HalfEncoding he = img.highDict.encode(hi);
+        HalfEncoding le = img.lowDict.encode(lo);
+        std::printf("  +%02u  [%3u..%3u bits] hi:%-5s lo:%-5s  %-30s\n",
+                    i * 4, prev_end, blk.endBit[i],
+                    he.raw ? "raw" : strfmt("b%u/%u", he.bank,
+                                            he.index).c_str(),
+                    le.zeroSpecial ? "zero"
+                    : le.raw ? "raw"
+                             : strfmt("b%u/%u", le.bank, le.index).c_str(),
+                    disassemble(word, base + i * 4).c_str());
+        prev_end = blk.endBit[i];
+    }
+    std::printf("\n");
+}
+
+void
+dumpComposition(const CompressedImage &img)
+{
+    const codepack::Composition &c = img.comp;
+    double total = static_cast<double>(c.totalBits());
+    TextTable t;
+    t.setTitle("Composition of the compressed region (Table 4 view)");
+    t.addHeader({"Component", "Bits", "Share"});
+    auto row = [&](const char *label, u64 bits) {
+        t.addRow({label, TextTable::grouped(bits),
+                  TextTable::pct(static_cast<double>(bits) / total)});
+    };
+    row("index table", c.indexTableBits);
+    row("dictionaries", c.dictionaryBits);
+    row("compressed tags", c.compressedTagBits);
+    row("dictionary indices", c.dictIndexBits);
+    row("raw tags", c.rawTagBits);
+    row("raw bits", c.rawBits);
+    row("pad", c.padBits);
+    t.addRule();
+    t.addRow({"total", TextTable::grouped(c.totalBits()), "100.0%"});
+    t.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "go";
+    const BenchProgram &bench = Suite::instance().get(name);
+    const CompressedImage &img = bench.image;
+
+    std::printf("CodePack explorer: %s (%u bytes of text -> %llu "
+                "compressed, ratio %.1f%%)\n\n",
+                name, img.origTextBytes,
+                static_cast<unsigned long long>(img.comp.totalBytes()),
+                100.0 * img.compressionRatio());
+
+    dumpDictionaries(img);
+    dumpBlock(img, 0, 0);
+    dumpComposition(img);
+    return 0;
+}

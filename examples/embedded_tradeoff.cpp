@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Embedded-system trade-off study: the scenario the paper's introduction
+ * motivates. A cost-sensitive controller has a small I-cache, a narrow
+ * flash/ROM bus and slow memory; how do code size and performance trade
+ * off if we adopt CodePack?
+ *
+ * Sweeps the go benchmark over bus widths and memory latencies on a
+ * 1-issue embedded core, printing code-size savings and the performance
+ * of baseline/optimized CodePack relative to native code.
+ *
+ * Build & run:  ./build/examples/embedded_tradeoff [bench]
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "harness/suite.hh"
+
+using namespace cps;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "go";
+    const BenchProgram &bench = Suite::instance().get(name);
+    u64 insns = Suite::runInsns();
+
+    std::printf("Embedded trade-off for '%s': CodePack cuts the ROM "
+                "footprint to %.1f%% of native.\n\n",
+                name, 100.0 * bench.image.compressionRatio());
+
+    TextTable t;
+    t.setTitle("1-issue embedded core: speedup over native code "
+               "(same memory system)");
+    t.addHeader({"Memory system", "CodePack", "Optimized", "Verdict"});
+
+    struct Scenario
+    {
+        const char *label;
+        unsigned bus;
+        Cycle first, rate;
+    };
+    const Scenario scenarios[] = {
+        {"16-bit bus, slow ROM (20/4)", 16, 20, 4},
+        {"16-bit bus, 10/2", 16, 10, 2},
+        {"32-bit bus, 10/2", 32, 10, 2},
+        {"64-bit bus, 10/2 (paper baseline)", 64, 10, 2},
+        {"64-bit bus, fast RAM (5/1)", 64, 5, 1},
+        {"128-bit bus, fast RAM (5/1)", 128, 5, 1},
+    };
+
+    for (const Scenario &s : scenarios) {
+        MachineConfig native = baseline1Issue();
+        native.mem.busWidthBits = s.bus;
+        native.mem.firstAccess = s.first;
+        native.mem.beatRate = s.rate;
+
+        RunOutcome rn = runMachine(bench, native, insns);
+        RunOutcome rc = runMachine(
+            bench, native.withCodeModel(CodeModel::CodePack), insns);
+        RunOutcome ro = runMachine(
+            bench, native.withCodeModel(CodeModel::CodePackOptimized),
+            insns);
+
+        double sc = speedup(rn, rc);
+        double so = speedup(rn, ro);
+        const char *verdict =
+            so >= 1.02 ? "compress: smaller AND faster"
+            : so >= 0.98 ? "compress: smaller, ~same speed"
+                         : "compress only if size-bound";
+        t.addRow({s.label, TextTable::fmt(sc, 3), TextTable::fmt(so, 3),
+                  verdict});
+    }
+    t.print();
+
+    std::printf("\nThe paper's conclusion in action: on narrow buses "
+                "and slow memories the\ncompressed program is faster "
+                "than native code because each miss moves fewer\nbytes "
+                "and the decompressor prefetches whole 16-instruction "
+                "blocks.\n");
+    return 0;
+}

@@ -1,0 +1,940 @@
+#include "assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "isa/isa.hh"
+
+namespace cps
+{
+
+namespace
+{
+
+/** A parsed operand. */
+struct Operand
+{
+    enum class Kind { Gpr, Fpr, Imm, Sym, Mem };
+
+    Kind kind = Kind::Imm;
+    unsigned reg = 0;   // Gpr/Fpr register number; Mem base register
+    s64 value = 0;      // Imm value; Mem offset
+    std::string sym;    // Sym name
+};
+
+/** One source line after lexing. */
+struct Line
+{
+    int number = 0;
+    std::vector<std::string> labels;
+    std::string mnemonic; // empty for label-only lines
+    std::vector<std::string> operandText;
+    std::string rawOperands; // original operand substring (for .asciiz)
+};
+
+std::optional<unsigned>
+parseGpr(const std::string &t)
+{
+    static const std::map<std::string, unsigned> aliases = [] {
+        std::map<std::string, unsigned> m;
+        for (unsigned i = 0; i < kNumGpr; ++i)
+            m[gprName(i)] = i;
+        return m;
+    }();
+    auto it = aliases.find(t);
+    if (it != aliases.end())
+        return it->second;
+    if (t.size() >= 2 && t[0] == '$' &&
+        std::isdigit(static_cast<unsigned char>(t[1]))) {
+        char *end = nullptr;
+        long v = std::strtol(t.c_str() + 1, &end, 10);
+        if (*end == '\0' && v >= 0 && v < static_cast<long>(kNumGpr))
+            return static_cast<unsigned>(v);
+    }
+    return std::nullopt;
+}
+
+std::optional<unsigned>
+parseFpr(const std::string &t)
+{
+    if (t.size() >= 3 && t[0] == '$' && t[1] == 'f' &&
+        std::isdigit(static_cast<unsigned char>(t[2]))) {
+        char *end = nullptr;
+        long v = std::strtol(t.c_str() + 2, &end, 10);
+        if (*end == '\0' && v >= 0 && v < static_cast<long>(kNumFpr))
+            return static_cast<unsigned>(v);
+    }
+    return std::nullopt;
+}
+
+std::optional<s64>
+parseNumber(const std::string &t)
+{
+    if (t.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    long long v = std::strtoll(t.c_str(), &end, 0);
+    if (*end != '\0')
+        return std::nullopt;
+    return v;
+}
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/** The assembler proper: lexes, sizes (pass 1), then emits (pass 2). */
+class Assembler
+{
+  public:
+    AsmResult
+    run(const std::string &source)
+    {
+        lex(source);
+        pass1();
+        if (result_.errors.empty())
+            pass2();
+        result_.program.text.base = kTextBase;
+        result_.program.data.base = kDataBase;
+        result_.program.symbols = symbols_;
+        auto main_it = symbols_.find("main");
+        result_.program.entry =
+            main_it != symbols_.end() ? main_it->second : kTextBase;
+        return std::move(result_);
+    }
+
+  private:
+    enum class Section { Text, Data };
+
+    std::vector<Line> lines_;
+    std::map<std::string, Addr> symbols_;
+    AsmResult result_;
+
+    // Location counters.
+    Section section_ = Section::Text;
+    Addr textPos_ = kTextBase;
+    Addr dataPos_ = kDataBase;
+    bool emitting_ = false; // pass 2?
+
+    void
+    error(const Line &line, const std::string &msg)
+    {
+        result_.errors.push_back(
+            strfmt("line %d: %s", line.number, msg.c_str()));
+    }
+
+    // ---------------------------------------------------------- lexing
+
+    void
+    lex(const std::string &source)
+    {
+        size_t pos = 0;
+        int lineno = 0;
+        while (pos < source.size()) {
+            size_t eol = source.find('\n', pos);
+            if (eol == std::string::npos)
+                eol = source.size();
+            std::string text = source.substr(pos, eol - pos);
+            pos = eol + 1;
+            ++lineno;
+
+            // Strip comments, but not a '#' inside a string literal.
+            bool in_str = false;
+            for (size_t i = 0; i < text.size(); ++i) {
+                if (text[i] == '"' && (i == 0 || text[i - 1] != '\\'))
+                    in_str = !in_str;
+                else if (text[i] == '#' && !in_str) {
+                    text.resize(i);
+                    break;
+                }
+            }
+            text = trim(text);
+            if (text.empty())
+                continue;
+
+            Line line;
+            line.number = lineno;
+
+            // Peel off leading labels.
+            for (;;) {
+                size_t colon = text.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string head = trim(text.substr(0, colon));
+                if (head.empty() || !isIdentStart(head[0]))
+                    break;
+                bool ident = true;
+                for (char c : head)
+                    ident = ident && isIdentChar(c);
+                if (!ident)
+                    break;
+                line.labels.push_back(head);
+                text = trim(text.substr(colon + 1));
+            }
+
+            if (!text.empty()) {
+                size_t sp = text.find_first_of(" \t");
+                line.mnemonic = sp == std::string::npos
+                                    ? text : text.substr(0, sp);
+                std::string ops = sp == std::string::npos
+                                      ? "" : trim(text.substr(sp + 1));
+                line.rawOperands = ops;
+                line.operandText = splitOperands(ops);
+            }
+            lines_.push_back(std::move(line));
+        }
+    }
+
+    static std::vector<std::string>
+    splitOperands(const std::string &ops)
+    {
+        std::vector<std::string> out;
+        std::string cur;
+        bool in_str = false;
+        for (char c : ops) {
+            if (c == '"')
+                in_str = !in_str;
+            if (c == ',' && !in_str) {
+                out.push_back(trim(cur));
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        cur = trim(cur);
+        if (!cur.empty())
+            out.push_back(cur);
+        return out;
+    }
+
+    // ---------------------------------------------------------- passes
+
+    void
+    resetCounters()
+    {
+        section_ = Section::Text;
+        textPos_ = kTextBase;
+        dataPos_ = kDataBase;
+    }
+
+    Addr &pos() { return section_ == Section::Text ? textPos_ : dataPos_; }
+
+    void
+    pass1()
+    {
+        emitting_ = false;
+        resetCounters();
+        for (const Line &line : lines_)
+            handleLine(line);
+    }
+
+    void
+    pass2()
+    {
+        emitting_ = true;
+        resetCounters();
+        for (const Line &line : lines_)
+            handleLine(line);
+    }
+
+    void
+    handleLine(const Line &line)
+    {
+        for (const std::string &label : line.labels) {
+            if (!emitting_) {
+                if (symbols_.count(label)) {
+                    error(line, "duplicate label '" + label + "'");
+                } else {
+                    symbols_[label] = pos();
+                }
+            }
+        }
+        if (line.mnemonic.empty())
+            return;
+        if (line.mnemonic[0] == '.')
+            handleDirective(line);
+        else
+            handleInstruction(line);
+    }
+
+    // ------------------------------------------------------ directives
+
+    void
+    emitByte(u8 b)
+    {
+        std::vector<u8> &seg = section_ == Section::Text
+                                   ? result_.program.text.bytes
+                                   : result_.program.data.bytes;
+        seg.push_back(b);
+    }
+
+    void
+    putBytes(const Line &line, std::initializer_list<u8> bytes)
+    {
+        (void)line;
+        if (emitting_) {
+            for (u8 b : bytes)
+                emitByte(b);
+        }
+        pos() += static_cast<Addr>(bytes.size());
+    }
+
+    void
+    putWord(u32 w)
+    {
+        if (emitting_) {
+            emitByte(static_cast<u8>(w));
+            emitByte(static_cast<u8>(w >> 8));
+            emitByte(static_cast<u8>(w >> 16));
+            emitByte(static_cast<u8>(w >> 24));
+        }
+        pos() += 4;
+    }
+
+    std::optional<s64>
+    valueOf(const Line &line, const std::string &t)
+    {
+        if (auto num = parseNumber(t))
+            return *num;
+        // Symbol; only resolvable during pass 2.
+        if (!emitting_)
+            return 0;
+        auto it = symbols_.find(t);
+        if (it == symbols_.end()) {
+            error(line, "undefined symbol '" + t + "'");
+            return std::nullopt;
+        }
+        return it->second;
+    }
+
+    void
+    handleDirective(const Line &line)
+    {
+        const std::string &d = line.mnemonic;
+        if (d == ".text") {
+            section_ = Section::Text;
+        } else if (d == ".data") {
+            section_ = Section::Data;
+        } else if (d == ".globl" || d == ".global" || d == ".ent" ||
+                   d == ".end") {
+            // Accepted for compatibility; we export every label anyway.
+        } else if (d == ".word") {
+            for (const std::string &t : line.operandText) {
+                auto v = valueOf(line, t);
+                putWord(static_cast<u32>(v.value_or(0)));
+            }
+        } else if (d == ".half") {
+            for (const std::string &t : line.operandText) {
+                auto v = valueOf(line, t);
+                u16 h = static_cast<u16>(v.value_or(0));
+                putBytes(line, {static_cast<u8>(h), static_cast<u8>(h >> 8)});
+            }
+        } else if (d == ".byte") {
+            for (const std::string &t : line.operandText) {
+                auto v = valueOf(line, t);
+                putBytes(line, {static_cast<u8>(v.value_or(0))});
+            }
+        } else if (d == ".space") {
+            auto v = line.operandText.empty()
+                         ? std::nullopt
+                         : parseNumber(line.operandText[0]);
+            if (!v || *v < 0) {
+                error(line, ".space needs a non-negative size");
+                return;
+            }
+            for (s64 i = 0; i < *v; ++i)
+                putBytes(line, {0});
+        } else if (d == ".align") {
+            auto v = line.operandText.empty()
+                         ? std::nullopt
+                         : parseNumber(line.operandText[0]);
+            if (!v || *v < 0 || *v > 12) {
+                error(line, ".align needs an exponent 0..12");
+                return;
+            }
+            Addr align = 1u << *v;
+            while (pos() % align)
+                putBytes(line, {0});
+        } else if (d == ".ascii" || d == ".asciiz") {
+            std::string s = line.rawOperands;
+            size_t b = s.find('"');
+            size_t e = s.rfind('"');
+            if (b == std::string::npos || e <= b) {
+                error(line, d + " needs a quoted string");
+                return;
+            }
+            std::string body = s.substr(b + 1, e - b - 1);
+            for (size_t i = 0; i < body.size(); ++i) {
+                char c = body[i];
+                if (c == '\\' && i + 1 < body.size()) {
+                    ++i;
+                    switch (body[i]) {
+                      case 'n': c = '\n'; break;
+                      case 't': c = '\t'; break;
+                      case '0': c = '\0'; break;
+                      case '\\': c = '\\'; break;
+                      case '"': c = '"'; break;
+                      default: c = body[i]; break;
+                    }
+                }
+                putBytes(line, {static_cast<u8>(c)});
+            }
+            if (d == ".asciiz")
+                putBytes(line, {0});
+        } else {
+            error(line, "unknown directive '" + d + "'");
+        }
+    }
+
+    // ---------------------------------------------------- instructions
+
+    std::optional<Operand>
+    parseOperand(const Line &line, const std::string &t)
+    {
+        Operand op;
+        if (auto g = parseGpr(t)) {
+            op.kind = Operand::Kind::Gpr;
+            op.reg = *g;
+            return op;
+        }
+        if (auto f = parseFpr(t)) {
+            op.kind = Operand::Kind::Fpr;
+            op.reg = *f;
+            return op;
+        }
+        // Memory operand: offset($reg)
+        size_t lp = t.find('(');
+        if (lp != std::string::npos && t.back() == ')') {
+            std::string off = trim(t.substr(0, lp));
+            std::string base = trim(t.substr(lp + 1, t.size() - lp - 2));
+            auto reg = parseGpr(base);
+            if (!reg) {
+                error(line, "bad base register in '" + t + "'");
+                return std::nullopt;
+            }
+            s64 offval = 0;
+            if (!off.empty()) {
+                auto n = parseNumber(off);
+                if (!n) {
+                    error(line, "bad offset in '" + t + "'");
+                    return std::nullopt;
+                }
+                offval = *n;
+            }
+            op.kind = Operand::Kind::Mem;
+            op.reg = *reg;
+            op.value = offval;
+            return op;
+        }
+        if (auto n = parseNumber(t)) {
+            op.kind = Operand::Kind::Imm;
+            op.value = *n;
+            return op;
+        }
+        if (!t.empty() && isIdentStart(t[0])) {
+            op.kind = Operand::Kind::Sym;
+            op.sym = t;
+            return op;
+        }
+        error(line, "cannot parse operand '" + t + "'");
+        return std::nullopt;
+    }
+
+    /** Emits one encoded instruction word (and advances the counter). */
+    void
+    emitInst(const Inst &inst)
+    {
+        putWord(encode(inst));
+    }
+
+    bool
+    checkOperands(const Line &line, const std::vector<Operand> &ops,
+                  std::initializer_list<Operand::Kind> kinds)
+    {
+        if (ops.size() != kinds.size())
+            return false;
+        (void)line;
+        size_t i = 0;
+        for (Operand::Kind k : kinds) {
+            // Imm positions also accept symbols.
+            bool cell_ok = ops[i].kind == k ||
+                (k == Operand::Kind::Imm &&
+                 ops[i].kind == Operand::Kind::Sym);
+            if (!cell_ok)
+                return false;
+            ++i;
+        }
+        return true;
+    }
+
+    /** Resolves a symbol-or-immediate operand to a value. */
+    std::optional<s64>
+    resolve(const Line &line, const Operand &op)
+    {
+        if (op.kind == Operand::Kind::Imm)
+            return op.value;
+        if (op.kind == Operand::Kind::Sym) {
+            if (!emitting_)
+                return 0;
+            auto it = symbols_.find(op.sym);
+            if (it == symbols_.end()) {
+                error(line, "undefined symbol '" + op.sym + "'");
+                return std::nullopt;
+            }
+            return it->second;
+        }
+        error(line, "expected immediate or symbol operand");
+        return std::nullopt;
+    }
+
+    /** Computes a 16-bit branch displacement to @p target. */
+    std::optional<u16>
+    branchDisp(const Line &line, s64 target)
+    {
+        s64 delta = target - (static_cast<s64>(pos()) + 4);
+        if (delta & 3) {
+            error(line, "branch target not word aligned");
+            return std::nullopt;
+        }
+        s64 words = delta >> 2;
+        if (emitting_ && (words < -32768 || words > 32767)) {
+            error(line, "branch target out of range");
+            return std::nullopt;
+        }
+        return static_cast<u16>(words);
+    }
+
+    void
+    handleInstruction(const Line &line)
+    {
+        const std::string &m = line.mnemonic;
+
+        std::vector<Operand> ops;
+        for (const std::string &t : line.operandText) {
+            auto op = parseOperand(line, t);
+            if (!op)
+                return;
+            ops.push_back(*op);
+        }
+
+        if (handlePseudo(line, m, ops))
+            return;
+
+        auto opcode = opFromMnemonic(m);
+        if (!opcode) {
+            error(line, "unknown mnemonic '" + m + "'");
+            return;
+        }
+        encodeReal(line, *opcode, ops);
+    }
+
+    /** @return true when @p m was a pseudo-instruction (handled here). */
+    bool
+    handlePseudo(const Line &line, const std::string &m,
+                 std::vector<Operand> &ops)
+    {
+        using K = Operand::Kind;
+
+        auto gpr3 = [&](Op op, unsigned rd, unsigned rs, unsigned rt) {
+            Inst i;
+            i.op = op;
+            i.rd = static_cast<u8>(rd);
+            i.rs = static_cast<u8>(rs);
+            i.rt = static_cast<u8>(rt);
+            emitInst(i);
+        };
+
+        if (m == "nop") {
+            putWord(kNopWord);
+            return true;
+        }
+        if (m == "move") {
+            if (!checkOperands(line, ops, {K::Gpr, K::Gpr})) {
+                error(line, "move needs 2 registers");
+                return true;
+            }
+            gpr3(Op::Addu, ops[0].reg, ops[1].reg, kRegZero);
+            return true;
+        }
+        if (m == "neg") {
+            if (!checkOperands(line, ops, {K::Gpr, K::Gpr})) {
+                error(line, "neg needs 2 registers");
+                return true;
+            }
+            gpr3(Op::Subu, ops[0].reg, kRegZero, ops[1].reg);
+            return true;
+        }
+        if (m == "not") {
+            if (!checkOperands(line, ops, {K::Gpr, K::Gpr})) {
+                error(line, "not needs 2 registers");
+                return true;
+            }
+            gpr3(Op::Nor, ops[0].reg, ops[1].reg, kRegZero);
+            return true;
+        }
+        if (m == "li") {
+            if (ops.size() != 2 || ops[0].kind != K::Gpr ||
+                ops[1].kind != K::Imm) {
+                error(line, "li needs register, constant");
+                return true;
+            }
+            s64 v = ops[1].value;
+            Inst i;
+            if (v >= -32768 && v <= 32767) {
+                i.op = Op::Addiu;
+                i.rt = static_cast<u8>(ops[0].reg);
+                i.rs = kRegZero;
+                i.imm = static_cast<u16>(v);
+                emitInst(i);
+            } else if (v >= 0 && v <= 0xffff) {
+                i.op = Op::Ori;
+                i.rt = static_cast<u8>(ops[0].reg);
+                i.rs = kRegZero;
+                i.imm = static_cast<u16>(v);
+                emitInst(i);
+            } else {
+                u32 uv = static_cast<u32>(v);
+                i.op = Op::Lui;
+                i.rt = static_cast<u8>(ops[0].reg);
+                i.imm = static_cast<u16>(uv >> 16);
+                emitInst(i);
+                Inst j;
+                j.op = Op::Ori;
+                j.rt = static_cast<u8>(ops[0].reg);
+                j.rs = static_cast<u8>(ops[0].reg);
+                j.imm = static_cast<u16>(uv & 0xffff);
+                emitInst(j);
+            }
+            return true;
+        }
+        if (m == "la") {
+            if (ops.size() != 2 || ops[0].kind != K::Gpr ||
+                (ops[1].kind != K::Sym && ops[1].kind != K::Imm)) {
+                error(line, "la needs register, symbol");
+                return true;
+            }
+            auto v = resolve(line, ops[1]);
+            u32 uv = static_cast<u32>(v.value_or(0));
+            Inst i;
+            i.op = Op::Lui;
+            i.rt = static_cast<u8>(ops[0].reg);
+            i.imm = static_cast<u16>(uv >> 16);
+            emitInst(i);
+            Inst j;
+            j.op = Op::Ori;
+            j.rt = static_cast<u8>(ops[0].reg);
+            j.rs = static_cast<u8>(ops[0].reg);
+            j.imm = static_cast<u16>(uv & 0xffff);
+            emitInst(j);
+            return true;
+        }
+        if (m == "b") {
+            if (ops.size() != 1) {
+                error(line, "b needs a target");
+                return true;
+            }
+            auto v = resolve(line, ops[0]);
+            if (!v)
+                return true;
+            auto disp = branchDisp(line, *v);
+            if (!disp)
+                return true;
+            Inst i;
+            i.op = Op::Beq;
+            i.rs = kRegZero;
+            i.rt = kRegZero;
+            i.imm = *disp;
+            emitInst(i);
+            return true;
+        }
+        if (m == "beqz" || m == "bnez") {
+            if (ops.size() != 2 || ops[0].kind != K::Gpr) {
+                error(line, m + " needs register, target");
+                return true;
+            }
+            auto v = resolve(line, ops[1]);
+            if (!v)
+                return true;
+            auto disp = branchDisp(line, *v);
+            if (!disp)
+                return true;
+            Inst i;
+            i.op = m == "beqz" ? Op::Beq : Op::Bne;
+            i.rs = static_cast<u8>(ops[0].reg);
+            i.rt = kRegZero;
+            i.imm = *disp;
+            emitInst(i);
+            return true;
+        }
+        if (m == "blt" || m == "bge" || m == "bgt" || m == "ble") {
+            if (ops.size() != 3 || ops[0].kind != K::Gpr ||
+                ops[1].kind != K::Gpr) {
+                error(line, m + " needs 2 registers and a target");
+                return true;
+            }
+            bool swap = (m == "bgt" || m == "ble");
+            unsigned rs = swap ? ops[1].reg : ops[0].reg;
+            unsigned rt = swap ? ops[0].reg : ops[1].reg;
+            gpr3(Op::Slt, kRegAt, rs, rt);
+            auto v = resolve(line, ops[2]);
+            if (!v)
+                return true;
+            auto disp = branchDisp(line, *v);
+            if (!disp)
+                return true;
+            Inst i;
+            i.op = (m == "blt" || m == "bgt") ? Op::Bne : Op::Beq;
+            i.rs = kRegAt;
+            i.rt = kRegZero;
+            i.imm = *disp;
+            emitInst(i);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    encodeReal(const Line &line, Op op, std::vector<Operand> &ops)
+    {
+        using K = Operand::Kind;
+        Inst i;
+        i.op = op;
+
+        auto needs = [&](std::initializer_list<K> kinds) {
+            if (checkOperands(line, ops, kinds))
+                return true;
+            error(line,
+                  strfmt("bad operands for '%s'", mnemonic(op)));
+            return false;
+        };
+
+        switch (op) {
+          case Op::Add: case Op::Addu: case Op::Sub: case Op::Subu:
+          case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+          case Op::Slt: case Op::Sltu: case Op::Mul: case Op::Mulu:
+          case Op::Div: case Op::Divu: case Op::Rem: case Op::Remu:
+            if (!needs({K::Gpr, K::Gpr, K::Gpr}))
+                return;
+            i.rd = static_cast<u8>(ops[0].reg);
+            i.rs = static_cast<u8>(ops[1].reg);
+            i.rt = static_cast<u8>(ops[2].reg);
+            break;
+
+          // Variable shifts use MIPS operand order: value in rt, shift
+          // amount in rs ("sllv rd, rt, rs").
+          case Op::Sllv: case Op::Srlv: case Op::Srav:
+            if (!needs({K::Gpr, K::Gpr, K::Gpr}))
+                return;
+            i.rd = static_cast<u8>(ops[0].reg);
+            i.rt = static_cast<u8>(ops[1].reg);
+            i.rs = static_cast<u8>(ops[2].reg);
+            break;
+
+          case Op::Sll: case Op::Srl: case Op::Sra:
+            if (!needs({K::Gpr, K::Gpr, K::Imm}))
+                return;
+            i.rd = static_cast<u8>(ops[0].reg);
+            i.rt = static_cast<u8>(ops[1].reg);
+            i.shamt = static_cast<u8>(ops[2].value & 31);
+            break;
+
+          case Op::Addi: case Op::Addiu: case Op::Slti: case Op::Sltiu:
+          case Op::Andi: case Op::Ori: case Op::Xori:
+            if (!needs({K::Gpr, K::Gpr, K::Imm}))
+                return;
+            i.rt = static_cast<u8>(ops[0].reg);
+            i.rs = static_cast<u8>(ops[1].reg);
+            i.imm = static_cast<u16>(ops[2].value);
+            break;
+
+          case Op::Lui:
+            if (!needs({K::Gpr, K::Imm}))
+                return;
+            i.rt = static_cast<u8>(ops[0].reg);
+            i.imm = static_cast<u16>(ops[1].value);
+            break;
+
+          case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu:
+          case Op::Lhu: case Op::Sb: case Op::Sh: case Op::Sw:
+            if (!needs({K::Gpr, K::Mem}))
+                return;
+            i.rt = static_cast<u8>(ops[0].reg);
+            i.rs = static_cast<u8>(ops[1].reg);
+            i.imm = static_cast<u16>(ops[1].value);
+            break;
+
+          case Op::Lwc1: case Op::Swc1:
+            if (!needs({K::Fpr, K::Mem}))
+                return;
+            i.rt = static_cast<u8>(ops[0].reg);
+            i.rs = static_cast<u8>(ops[1].reg);
+            i.imm = static_cast<u16>(ops[1].value);
+            break;
+
+          case Op::J: case Op::Jal: {
+            if (ops.size() != 1) {
+                error(line, "j/jal need one target");
+                return;
+            }
+            auto v = resolve(line, ops[0]);
+            if (!v)
+                return;
+            if (*v & 3) {
+                error(line, "jump target not word aligned");
+                return;
+            }
+            i.target = static_cast<u32>(*v) >> 2;
+            break;
+          }
+
+          case Op::Jr:
+            if (!needs({K::Gpr}))
+                return;
+            i.rs = static_cast<u8>(ops[0].reg);
+            break;
+
+          case Op::Jalr:
+            if (ops.size() == 1 && ops[0].kind == K::Gpr) {
+                i.rd = kRegRa;
+                i.rs = static_cast<u8>(ops[0].reg);
+            } else if (needs({K::Gpr, K::Gpr})) {
+                i.rd = static_cast<u8>(ops[0].reg);
+                i.rs = static_cast<u8>(ops[1].reg);
+            } else {
+                return;
+            }
+            break;
+
+          case Op::Beq: case Op::Bne: {
+            if (!needs({K::Gpr, K::Gpr, K::Imm}))
+                return;
+            auto v = resolve(line, ops[2]);
+            if (!v)
+                return;
+            auto disp = branchDisp(line, *v);
+            if (!disp)
+                return;
+            i.rs = static_cast<u8>(ops[0].reg);
+            i.rt = static_cast<u8>(ops[1].reg);
+            i.imm = *disp;
+            break;
+          }
+
+          case Op::Blez: case Op::Bgtz: case Op::Bltz: case Op::Bgez: {
+            if (!needs({K::Gpr, K::Imm}))
+                return;
+            auto v = resolve(line, ops[1]);
+            if (!v)
+                return;
+            auto disp = branchDisp(line, *v);
+            if (!disp)
+                return;
+            i.rs = static_cast<u8>(ops[0].reg);
+            i.imm = *disp;
+            break;
+          }
+
+          case Op::Bc1t: case Op::Bc1f: {
+            if (ops.size() != 1) {
+                error(line, "bc1t/bc1f need a target");
+                return;
+            }
+            auto v = resolve(line, ops[0]);
+            if (!v)
+                return;
+            auto disp = branchDisp(line, *v);
+            if (!disp)
+                return;
+            i.imm = *disp;
+            break;
+          }
+
+          case Op::AddS: case Op::SubS: case Op::MulS: case Op::DivS:
+            if (!needs({K::Fpr, K::Fpr, K::Fpr}))
+                return;
+            i.shamt = static_cast<u8>(ops[0].reg);
+            i.rd = static_cast<u8>(ops[1].reg);
+            i.rt = static_cast<u8>(ops[2].reg);
+            break;
+
+          case Op::AbsS: case Op::NegS: case Op::MovS: case Op::CvtSW:
+          case Op::CvtWS:
+            if (!needs({K::Fpr, K::Fpr}))
+                return;
+            i.shamt = static_cast<u8>(ops[0].reg);
+            i.rd = static_cast<u8>(ops[1].reg);
+            break;
+
+          case Op::CEqS: case Op::CLtS: case Op::CLeS:
+            if (!needs({K::Fpr, K::Fpr}))
+                return;
+            i.rd = static_cast<u8>(ops[0].reg);
+            i.rt = static_cast<u8>(ops[1].reg);
+            break;
+
+          case Op::Mtc1: case Op::Mfc1:
+            if (!needs({K::Gpr, K::Fpr}))
+                return;
+            i.rt = static_cast<u8>(ops[0].reg);
+            i.rd = static_cast<u8>(ops[1].reg);
+            break;
+
+          case Op::Syscall: case Op::Break:
+            break;
+
+          case Op::Invalid:
+          case Op::kNumOps:
+            error(line, "unencodable operation");
+            return;
+        }
+
+        emitInst(i);
+    }
+};
+
+} // namespace
+
+AsmResult
+assembleSource(const std::string &source)
+{
+    Assembler as;
+    return as.run(source);
+}
+
+Program
+assembleOrDie(const std::string &source)
+{
+    AsmResult res = assembleSource(source);
+    if (!res.ok()) {
+        for (const std::string &e : res.errors)
+            std::fprintf(stderr, "asm error: %s\n", e.c_str());
+        cps_fatal("assembly failed with %zu error(s)", res.errors.size());
+    }
+    return std::move(res.program);
+}
+
+} // namespace cps

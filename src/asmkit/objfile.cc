@@ -1,0 +1,80 @@
+#include "objfile.hh"
+
+#include "common/byteio.hh"
+#include "common/logging.hh"
+
+namespace cps
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'P', 'S', 'O', 'B', 'J', '1', '\0'};
+
+} // namespace
+
+std::vector<u8>
+encodeProgram(const Program &prog)
+{
+    std::vector<u8> out;
+    for (char c : kMagic)
+        out.push_back(static_cast<u8>(c));
+    put32(out, prog.entry);
+    put32(out, prog.text.base);
+    put32(out, static_cast<u32>(prog.text.bytes.size()));
+    put32(out, prog.data.base);
+    put32(out, static_cast<u32>(prog.data.bytes.size()));
+    put32(out, static_cast<u32>(prog.symbols.size()));
+    out.insert(out.end(), prog.text.bytes.begin(), prog.text.bytes.end());
+    out.insert(out.end(), prog.data.bytes.begin(), prog.data.bytes.end());
+    for (const auto &[name, addr] : prog.symbols) {
+        put32(out, addr);
+        put16(out, static_cast<u16>(name.size()));
+        out.insert(out.end(), name.begin(), name.end());
+    }
+    return out;
+}
+
+std::optional<Program>
+decodeProgram(const std::vector<u8> &bytes)
+{
+    ByteCursor cur(bytes);
+    if (!cur.expectMagic(kMagic, sizeof(kMagic)))
+        return std::nullopt;
+    Program prog;
+    prog.entry = cur.get32();
+    prog.text.base = cur.get32();
+    u32 text_len = cur.get32();
+    prog.data.base = cur.get32();
+    u32 data_len = cur.get32();
+    u32 sym_count = cur.get32();
+    prog.text.bytes = cur.getBytes(text_len);
+    prog.data.bytes = cur.getBytes(data_len);
+    for (u32 i = 0; cur.ok() && i < sym_count; ++i) {
+        u32 addr = cur.get32();
+        u16 len = cur.get16();
+        std::string name = cur.getString(len);
+        if (cur.ok())
+            prog.symbols[name] = addr;
+    }
+    if (!cur.ok())
+        return std::nullopt;
+    return prog;
+}
+
+bool
+saveProgram(const Program &prog, const std::string &path)
+{
+    return writeFileBytes(path, encodeProgram(prog));
+}
+
+std::optional<Program>
+loadProgram(const std::string &path)
+{
+    auto bytes = readFileBytes(path);
+    if (!bytes)
+        return std::nullopt;
+    return decodeProgram(*bytes);
+}
+
+} // namespace cps

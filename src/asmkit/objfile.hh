@@ -1,0 +1,41 @@
+/**
+ * @file
+ * A minimal object-file format for simulated programs, so that
+ * assembling/generating and simulating can be separate steps (and so
+ * compressed images have a stable on-disk counterpart).
+ *
+ * Layout (little-endian):
+ *   magic    "CPSOBJ1\0"            8 bytes
+ *   entry    u32
+ *   textBase u32, textLen u32
+ *   dataBase u32, dataLen u32
+ *   symCount u32
+ *   text bytes, data bytes
+ *   symbols: { u32 addr, u16 nameLen, name bytes } x symCount
+ */
+
+#ifndef CPS_ASMKIT_OBJFILE_HH
+#define CPS_ASMKIT_OBJFILE_HH
+
+#include <optional>
+#include <string>
+
+#include "program.hh"
+
+namespace cps
+{
+
+/** Serializes @p prog to @p path. @return false on I/O failure. */
+bool saveProgram(const Program &prog, const std::string &path);
+
+/** Loads a program saved by saveProgram. nullopt on error/corruption. */
+std::optional<Program> loadProgram(const std::string &path);
+
+/** In-memory encode/decode (the file functions use these; also handy
+ *  for tests that avoid the filesystem). */
+std::vector<u8> encodeProgram(const Program &prog);
+std::optional<Program> decodeProgram(const std::vector<u8> &bytes);
+
+} // namespace cps
+
+#endif // CPS_ASMKIT_OBJFILE_HH

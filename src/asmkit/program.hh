@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The binary program image produced by the assembler and consumed by the
+ * loader, the CodePack compressor and the simulator.
+ *
+ * The format is intentionally minimal (this is a research simulator, not
+ * an OS): a text segment, a data segment, an entry point, and a symbol
+ * table. There are no relocations; the assembler resolves everything.
+ */
+
+#ifndef CPS_ASMKIT_PROGRAM_HH
+#define CPS_ASMKIT_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace cps
+{
+
+/** Base address of the text segment. */
+constexpr Addr kTextBase = 0x00010000;
+/** Base address of the data segment. */
+constexpr Addr kDataBase = 0x10000000;
+/** Initial stack pointer (stack grows down). */
+constexpr Addr kStackTop = 0x7ffffff0;
+
+/** A contiguous run of initialised bytes at a fixed address. */
+struct Segment
+{
+    Addr base = 0;
+    std::vector<u8> bytes;
+
+    Addr end() const { return base + static_cast<Addr>(bytes.size()); }
+
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base && addr < end();
+    }
+};
+
+/** A loadable program image. */
+class Program
+{
+  public:
+    Segment text;
+    Segment data;
+    Addr entry = kTextBase;
+    std::map<std::string, Addr> symbols;
+
+    /** Number of 32-bit instruction words in the text segment. */
+    size_t
+    textWords() const
+    {
+        return text.bytes.size() / 4;
+    }
+
+    /** The instruction word at native address @p addr (little-endian). */
+    u32
+    wordAt(Addr addr) const
+    {
+        cps_assert(text.contains(addr) && (addr & 3) == 0,
+                   "wordAt outside text segment");
+        size_t off = addr - text.base;
+        return static_cast<u32>(text.bytes[off]) |
+               (static_cast<u32>(text.bytes[off + 1]) << 8) |
+               (static_cast<u32>(text.bytes[off + 2]) << 16) |
+               (static_cast<u32>(text.bytes[off + 3]) << 24);
+    }
+
+    /** The instruction word at text word index @p index. */
+    u32
+    word(size_t index) const
+    {
+        return wordAt(text.base + static_cast<Addr>(index * 4));
+    }
+
+    /** Address of the symbol @p name; fatal when undefined. */
+    Addr
+    symbol(const std::string &name) const
+    {
+        auto it = symbols.find(name);
+        if (it == symbols.end())
+            cps_fatal("undefined symbol '%s'", name.c_str());
+        return it->second;
+    }
+};
+
+} // namespace cps
+
+#endif // CPS_ASMKIT_PROGRAM_HH

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Branch predictors matching the paper's Table 2:
+ *   1-issue: bimodal, 2048 entries
+ *   4-issue: gshare with 14-bit history
+ *   8-issue: hybrid with a 1024-entry meta chooser
+ * plus a branch target buffer and a return-address stack for indirect
+ * jumps.
+ */
+
+#ifndef CPS_BRANCH_PREDICTORS_HH
+#define CPS_BRANCH_PREDICTORS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace cps
+{
+
+/** Direction predictor interface. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predicts the direction of the branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /** Trains with the resolved outcome. */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /** Human-readable configuration summary. */
+    virtual std::string describe() const = 0;
+};
+
+/** A saturating 2-bit counter; initialised weakly taken. */
+class Counter2
+{
+  public:
+    bool taken() const { return value_ >= 2; }
+
+    void
+    train(bool taken)
+    {
+        if (taken && value_ < 3)
+            ++value_;
+        else if (!taken && value_ > 0)
+            --value_;
+    }
+
+  private:
+    u8 value_ = 2;
+};
+
+/** Classic bimodal predictor: a PC-indexed table of 2-bit counters. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned entries = 2048)
+        : mask_(entries - 1), table_(entries)
+    {
+        cps_assert(isPow2(entries), "bimodal size must be a power of 2");
+    }
+
+    bool predict(Addr pc) override { return table_[index(pc)].taken(); }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        table_[index(pc)].train(taken);
+    }
+
+    std::string
+    describe() const override
+    {
+        return strfmt("bimodal %zu entries", table_.size());
+    }
+
+  private:
+    size_t index(Addr pc) const { return (pc >> 2) & mask_; }
+
+    size_t mask_;
+    std::vector<Counter2> table_;
+};
+
+/** gshare: global history XOR PC indexes a counter table. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(unsigned history_bits = 14)
+        : historyBits_(history_bits),
+          mask_((1u << history_bits) - 1),
+          table_(1u << history_bits)
+    {
+        cps_assert(history_bits >= 1 && history_bits <= 24,
+                   "gshare history out of range");
+    }
+
+    bool
+    predict(Addr pc) override
+    {
+        return table_[index(pc)].taken();
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        table_[index(pc)].train(taken);
+        history_ = ((history_ << 1) | (taken ? 1u : 0u)) & mask_;
+    }
+
+    std::string
+    describe() const override
+    {
+        return strfmt("gshare %u-bit history", historyBits_);
+    }
+
+  private:
+    size_t index(Addr pc) const { return ((pc >> 2) ^ history_) & mask_; }
+
+    unsigned historyBits_;
+    u32 mask_;
+    u32 history_ = 0;
+    std::vector<Counter2> table_;
+};
+
+/** Hybrid predictor: a meta table chooses between two components. */
+class HybridPredictor : public DirectionPredictor
+{
+  public:
+    HybridPredictor(unsigned meta_entries = 1024,
+                    std::unique_ptr<DirectionPredictor> a = nullptr,
+                    std::unique_ptr<DirectionPredictor> b = nullptr)
+        : metaMask_(meta_entries - 1),
+          meta_(meta_entries),
+          compA_(a ? std::move(a) : std::make_unique<BimodalPredictor>(2048)),
+          compB_(b ? std::move(b) : std::make_unique<GsharePredictor>(14))
+    {
+        cps_assert(isPow2(meta_entries), "meta size must be a power of 2");
+    }
+
+    bool
+    predict(Addr pc) override
+    {
+        bool use_b = meta_[metaIndex(pc)].taken();
+        bool pa = compA_->predict(pc);
+        bool pb = compB_->predict(pc);
+        return use_b ? pb : pa;
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        bool pa = compA_->predict(pc);
+        bool pb = compB_->predict(pc);
+        // Meta moves toward the component that was right (only when they
+        // disagree, as in SimpleScalar's "comb" predictor).
+        if (pa != pb)
+            meta_[metaIndex(pc)].train(pb == taken);
+        compA_->update(pc, taken);
+        compB_->update(pc, taken);
+    }
+
+    std::string
+    describe() const override
+    {
+        return strfmt("hybrid (%s + %s), %zu-entry meta",
+                      compA_->describe().c_str(), compB_->describe().c_str(),
+                      meta_.size());
+    }
+
+  private:
+    size_t metaIndex(Addr pc) const { return (pc >> 2) & metaMask_; }
+
+    size_t metaMask_;
+    std::vector<Counter2> meta_;
+    std::unique_ptr<DirectionPredictor> compA_;
+    std::unique_ptr<DirectionPredictor> compB_;
+};
+
+/** Always-taken baseline (used in predictor ablation tests). */
+class TakenPredictor : public DirectionPredictor
+{
+  public:
+    bool predict(Addr) override { return true; }
+    void update(Addr, bool) override {}
+    std::string describe() const override { return "static taken"; }
+};
+
+/** Branch target buffer: set-associative map from PC to target. */
+class Btb
+{
+  public:
+    Btb(unsigned entries = 512, unsigned assoc = 4)
+        : assoc_(assoc), sets_(entries / assoc),
+          ways_(static_cast<size_t>(entries))
+    {
+        cps_assert(entries % assoc == 0 && isPow2(entries / assoc),
+                   "BTB geometry must give a power-of-two set count");
+    }
+
+    /** @return predicted target, or kAddrInvalid on BTB miss */
+    Addr
+    lookup(Addr pc)
+    {
+        size_t set = setIndex(pc);
+        for (unsigned i = 0; i < assoc_; ++i) {
+            Way &w = ways_[set * assoc_ + i];
+            if (w.valid && w.pc == pc) {
+                w.lastUse = ++useClock_;
+                return w.target;
+            }
+        }
+        return kAddrInvalid;
+    }
+
+    /** Installs / refreshes the mapping pc -> target. */
+    void
+    update(Addr pc, Addr target)
+    {
+        size_t set = setIndex(pc);
+        Way *victim = nullptr;
+        for (unsigned i = 0; i < assoc_; ++i) {
+            Way &w = ways_[set * assoc_ + i];
+            if (w.valid && w.pc == pc) {
+                victim = &w;
+                break;
+            }
+            if (!w.valid) {
+                if (!victim || victim->valid)
+                    victim = &w;
+            } else if (!victim ||
+                       (victim->valid && w.lastUse < victim->lastUse)) {
+                victim = &w;
+            }
+        }
+        victim->valid = true;
+        victim->pc = pc;
+        victim->target = target;
+        victim->lastUse = ++useClock_;
+    }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+        u64 lastUse = 0;
+    };
+
+    size_t setIndex(Addr pc) const { return (pc >> 2) & (sets_ - 1); }
+
+    unsigned assoc_;
+    size_t sets_;
+    u64 useClock_ = 0;
+    std::vector<Way> ways_;
+};
+
+/** Return-address stack (circular; pushes on call, pops on return). */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 8) : entries_(depth) {}
+
+    void
+    push(Addr return_addr)
+    {
+        top_ = (top_ + 1) % entries_.size();
+        entries_[top_] = return_addr;
+        if (size_ < entries_.size())
+            ++size_;
+    }
+
+    /** @return predicted return address, or kAddrInvalid when empty */
+    Addr
+    pop()
+    {
+        if (size_ == 0)
+            return kAddrInvalid;
+        Addr out = entries_[top_];
+        top_ = (top_ + entries_.size() - 1) % entries_.size();
+        --size_;
+        return out;
+    }
+
+  private:
+    std::vector<Addr> entries_{8};
+    size_t top_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace cps
+
+#endif // CPS_BRANCH_PREDICTORS_HH

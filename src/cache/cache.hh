@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Set-associative cache tag store with true-LRU replacement.
+ *
+ * This models tags and replacement only; data always lives in the
+ * functional MainMemory (the simulator is timing-directed, so the caches
+ * never need to hold bytes). The I-cache and D-cache of every simulated
+ * machine are instances of this class; write-back state is tracked with
+ * per-line dirty bits.
+ */
+
+#ifndef CPS_CACHE_CACHE_HH
+#define CPS_CACHE_CACHE_HH
+
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace cps
+{
+
+/** Replacement policy (the paper's machines use LRU; the others exist
+ *  for the replacement-policy ablation). */
+enum class ReplPolicy : u8
+{
+    Lru,
+    Fifo,
+    Random,
+};
+
+/** Geometry of one cache. */
+struct CacheConfig
+{
+    u32 sizeBytes = 16 * 1024;
+    u32 lineBytes = 32;
+    u32 assoc = 2;
+    ReplPolicy policy = ReplPolicy::Lru;
+
+    u32 numSets() const { return sizeBytes / (lineBytes * assoc); }
+};
+
+/** Result of inserting a line: describes the victim, if any. */
+struct CacheVictim
+{
+    bool valid = false;   ///< a line was evicted
+    bool dirty = false;   ///< ... and it needs writing back
+    Addr lineAddr = 0;    ///< base address of the evicted line
+};
+
+/** A set-associative tag store with LRU replacement and dirty bits. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg) : cfg_(cfg)
+    {
+        cps_assert(isPow2(cfg.lineBytes), "line size must be a power of 2");
+        cps_assert(cfg.assoc >= 1, "associativity must be >= 1");
+        cps_assert(cfg.sizeBytes % (cfg.lineBytes * cfg.assoc) == 0,
+                   "cache size not divisible into sets");
+        cps_assert(isPow2(cfg.numSets()), "set count must be a power of 2");
+        lineShift_ = log2i(cfg.lineBytes);
+        setMask_ = cfg.numSets() - 1;
+        ways_.assign(static_cast<size_t>(cfg.numSets()) * cfg.assoc, Way{});
+    }
+
+    const CacheConfig &config() const { return cfg_; }
+
+    /** Base address of the line containing @p addr. */
+    Addr lineAddr(Addr addr) const { return addr & ~(cfg_.lineBytes - 1); }
+
+    /**
+     * Looks @p addr up; updates LRU on hit.
+     * @return true on hit
+     */
+    bool
+    access(Addr addr)
+    {
+        Way *w = find(addr);
+        if (!w)
+            return false;
+        if (cfg_.policy == ReplPolicy::Lru)
+            w->lastUse = ++useClock_;
+        return true;
+    }
+
+    /** Tag probe with no LRU side effect. */
+    bool probe(Addr addr) const { return findConst(addr) != nullptr; }
+
+    /** Marks the line containing @p addr dirty (it must be present). */
+    void
+    setDirty(Addr addr)
+    {
+        Way *w = find(addr);
+        cps_assert(w, "setDirty on absent line");
+        w->dirty = true;
+    }
+
+    /**
+     * Inserts the line containing @p addr, evicting the set's LRU way.
+     * @return the victim line (valid+dirty => caller writes it back)
+     */
+    CacheVictim
+    fill(Addr addr)
+    {
+        size_t set = setIndex(addr);
+        Way *victim = nullptr;
+        for (u32 i = 0; i < cfg_.assoc; ++i) {
+            Way &w = ways_[set * cfg_.assoc + i];
+            if (!w.valid) {
+                victim = &w;
+                break;
+            }
+            // LRU and FIFO both evict the smallest timestamp; under
+            // FIFO the timestamp is only set at fill time.
+            if (!victim || w.lastUse < victim->lastUse)
+                victim = &w;
+        }
+        if (victim->valid && cfg_.policy == ReplPolicy::Random) {
+            // Deterministic xorshift over the set: reproducible runs.
+            rngState_ ^= rngState_ << 13;
+            rngState_ ^= rngState_ >> 7;
+            rngState_ ^= rngState_ << 17;
+            victim = &ways_[set * cfg_.assoc + (rngState_ % cfg_.assoc)];
+        }
+
+        CacheVictim out;
+        if (victim->valid) {
+            out.valid = true;
+            out.dirty = victim->dirty;
+            out.lineAddr = rebuild(victim->tag, set);
+        }
+        victim->valid = true;
+        victim->dirty = false;
+        victim->tag = tagOf(addr);
+        victim->lastUse = ++useClock_;
+        return out;
+    }
+
+    /** Invalidates every line (dirty contents are discarded). */
+    void
+    invalidateAll()
+    {
+        for (Way &w : ways_)
+            w = Way{};
+        useClock_ = 0;
+        rngState_ = 0x9e3779b97f4a7c15ULL;
+    }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        u64 lastUse = 0;
+    };
+
+    size_t
+    setIndex(Addr addr) const
+    {
+        return (addr >> lineShift_) & setMask_;
+    }
+
+    Addr tagOf(Addr addr) const { return addr >> lineShift_; }
+
+    Addr
+    rebuild(Addr tag, size_t set) const
+    {
+        (void)set; // tag includes the set bits: tag == addr >> lineShift
+        return tag << lineShift_;
+    }
+
+    Way *
+    find(Addr addr)
+    {
+        size_t set = setIndex(addr);
+        Addr tag = tagOf(addr);
+        for (u32 i = 0; i < cfg_.assoc; ++i) {
+            Way &w = ways_[set * cfg_.assoc + i];
+            if (w.valid && w.tag == tag)
+                return &w;
+        }
+        return nullptr;
+    }
+
+    const Way *
+    findConst(Addr addr) const
+    {
+        return const_cast<Cache *>(this)->find(addr);
+    }
+
+    CacheConfig cfg_;
+    unsigned lineShift_ = 0;
+    Addr setMask_ = 0;
+    u64 useClock_ = 0;
+    u64 rngState_ = 0x9e3779b97f4a7c15ULL;
+    std::vector<Way> ways_;
+};
+
+} // namespace cps
+
+#endif // CPS_CACHE_CACHE_HH

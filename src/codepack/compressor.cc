@@ -1,0 +1,164 @@
+#include "compressor.hh"
+
+#include "common/bitstream.hh"
+#include "common/logging.hh"
+#include "isa/isa.hh"
+
+namespace cps
+{
+namespace codepack
+{
+
+namespace
+{
+
+/** Result of compressing one 16-instruction block. */
+struct BlockBits
+{
+    std::vector<u8> bytes;
+    bool raw = false;
+    // Table 4 accounting for this block.
+    u64 compressedTagBits = 0;
+    u64 dictIndexBits = 0;
+    u64 rawTagBits = 0;
+    u64 rawBits = 0;
+    u64 padBits = 0;
+};
+
+BlockBits
+compressBlock(const u32 *insns, const Dictionary &high,
+              const Dictionary &low, bool allow_raw_blocks)
+{
+    BlockBits out;
+    BitWriter bw;
+    for (unsigned i = 0; i < kBlockInsns; ++i) {
+        u16 hi = static_cast<u16>(insns[i] >> 16);
+        u16 lo = static_cast<u16>(insns[i] & 0xffff);
+
+        HalfEncoding he = high.encode(hi);
+        high.write(bw, hi);
+        if (he.raw) {
+            out.rawTagBits += he.tagBits;
+            out.rawBits += kRawLiteralBits;
+        } else {
+            out.compressedTagBits += he.tagBits;
+            out.dictIndexBits += he.indexBits;
+        }
+
+        HalfEncoding le = low.encode(lo);
+        low.write(bw, lo);
+        if (le.raw) {
+            out.rawTagBits += le.tagBits;
+            out.rawBits += kRawLiteralBits;
+        } else {
+            out.compressedTagBits += le.tagBits;
+            out.dictIndexBits += le.indexBits;
+        }
+    }
+    out.padBits = bw.alignByte();
+    out.bytes = bw.take();
+
+    if (allow_raw_blocks && out.bytes.size() > kRawBlockBytes) {
+        // Escape: the block expands under compression; store it native.
+        BlockBits raw;
+        raw.raw = true;
+        raw.bytes.reserve(kRawBlockBytes);
+        for (unsigned i = 0; i < kBlockInsns; ++i) {
+            raw.bytes.push_back(static_cast<u8>(insns[i]));
+            raw.bytes.push_back(static_cast<u8>(insns[i] >> 8));
+            raw.bytes.push_back(static_cast<u8>(insns[i] >> 16));
+            raw.bytes.push_back(static_cast<u8>(insns[i] >> 24));
+        }
+        raw.rawBits = u64{kRawBlockBytes} * 8;
+        return raw;
+    }
+    return out;
+}
+
+} // namespace
+
+CompressedImage
+compressWords(const std::vector<u32> &words, Addr text_base,
+              const CompressorConfig &cfg)
+{
+    CompressedImage img;
+    img.textBase = text_base;
+    img.origTextBytes = static_cast<u32>(words.size() * 4);
+
+    // Pad to a whole compression group with NOPs.
+    std::vector<u32> padded = words;
+    while (padded.size() % kGroupInsns != 0)
+        padded.push_back(kNopWord);
+    img.paddedInsns = static_cast<u32>(padded.size());
+
+    // Pass 1: halfword frequencies over the (padded) text.
+    std::unordered_map<u16, u64> hi_counts, lo_counts;
+    for (u32 w : padded) {
+        ++hi_counts[static_cast<u16>(w >> 16)];
+        ++lo_counts[static_cast<u16>(w & 0xffff)];
+    }
+    img.highDict = Dictionary::build(Dictionary::Kind::High, hi_counts);
+    img.lowDict = Dictionary::build(Dictionary::Kind::Low, lo_counts);
+
+    // Pass 2: compress block by block, build the index table.
+    u32 num_groups = img.paddedInsns / kGroupInsns;
+    img.indexTable.reserve(num_groups);
+    img.blocks.reserve(static_cast<size_t>(num_groups) * kBlocksPerGroup);
+
+    for (u32 g = 0; g < num_groups; ++g) {
+        u32 first_off = static_cast<u32>(img.bytes.size());
+        cps_assert(first_off <= kIdxFirstOffsetMask,
+                   "compressed region exceeds the %u-bit index offset",
+                   kIdxFirstOffsetBits);
+
+        bool flags[kBlocksPerGroup] = {};
+        u32 lens[kBlocksPerGroup] = {};
+        for (u32 b = 0; b < kBlocksPerGroup; ++b) {
+            const u32 *insns =
+                padded.data() + (static_cast<size_t>(g) * kBlocksPerGroup +
+                                 b) * kBlockInsns;
+            BlockBits bb = compressBlock(insns, img.highDict, img.lowDict,
+                                         cfg.allowRawBlocks);
+            BlockExtent ext;
+            ext.byteOffset = static_cast<u32>(img.bytes.size());
+            ext.byteLen = static_cast<u32>(bb.bytes.size());
+            ext.raw = bb.raw;
+            img.blocks.push_back(ext);
+            img.bytes.insert(img.bytes.end(), bb.bytes.begin(),
+                             bb.bytes.end());
+            flags[b] = bb.raw;
+            lens[b] = ext.byteLen;
+
+            img.comp.compressedTagBits += bb.compressedTagBits;
+            img.comp.dictIndexBits += bb.dictIndexBits;
+            img.comp.rawTagBits += bb.rawTagBits;
+            img.comp.rawBits += bb.rawBits;
+            img.comp.padBits += bb.padBits;
+        }
+
+        u32 second_off = lens[0];
+        cps_assert(second_off < (1u << kIdxSecondOffsetBits),
+                   "block 0 of group %u too long (%u bytes) for the "
+                   "second-block offset field", g, second_off);
+        img.indexTable.push_back(
+            makeIndexEntry(first_off, flags[0], second_off, flags[1]));
+    }
+
+    img.comp.indexTableBits = u64{num_groups} * 32;
+    img.comp.dictionaryBits =
+        img.highDict.storageBits() + img.lowDict.storageBits();
+    return img;
+}
+
+CompressedImage
+compress(const Program &prog, const CompressorConfig &cfg)
+{
+    std::vector<u32> words;
+    words.reserve(prog.textWords());
+    for (size_t i = 0; i < prog.textWords(); ++i)
+        words.push_back(prog.word(i));
+    return compressWords(words, prog.text.base, cfg);
+}
+
+} // namespace codepack
+} // namespace cps

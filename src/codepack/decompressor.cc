@@ -1,0 +1,86 @@
+#include "decompressor.hh"
+
+#include "common/bitstream.hh"
+#include "common/logging.hh"
+
+namespace cps
+{
+namespace codepack
+{
+
+DecodedBlock
+Decompressor::decompressBlock(u32 group, u32 block) const
+{
+    cps_assert(group < img_.numGroups(), "group %u out of range", group);
+    cps_assert(block < kBlocksPerGroup, "block %u out of range", block);
+
+    u32 entry = img_.indexTable[group];
+    DecodedBlock out;
+    u32 first = idxFirstOffset(entry);
+    if (block == 0) {
+        out.byteOffset = first;
+        out.raw = idxFirstRaw(entry);
+        out.byteLen = idxSecondOffset(entry);
+        // A raw first block always occupies exactly 64 bytes.
+        if (out.raw)
+            out.byteLen = kRawBlockBytes;
+    } else {
+        out.byteOffset = first + idxSecondOffset(entry);
+        out.raw = idxSecondRaw(entry);
+        // The second block's length is not in the index entry; the
+        // hardware just decodes 16 instructions. We recover the length
+        // from decoding below (raw blocks are fixed-size).
+        out.byteLen = out.raw ? kRawBlockBytes : 0;
+    }
+
+    cps_assert(out.byteOffset <= img_.bytes.size(),
+               "block offset beyond compressed region");
+
+    if (out.raw) {
+        const u8 *p = img_.bytes.data() + out.byteOffset;
+        for (unsigned i = 0; i < kBlockInsns; ++i) {
+            out.words[i] = static_cast<u32>(p[i * 4]) |
+                           (static_cast<u32>(p[i * 4 + 1]) << 8) |
+                           (static_cast<u32>(p[i * 4 + 2]) << 16) |
+                           (static_cast<u32>(p[i * 4 + 3]) << 24);
+            out.endBit[i] = (i + 1) * 32;
+        }
+        return out;
+    }
+
+    BitReader br(img_.bytes.data() + out.byteOffset,
+                 img_.bytes.size() - out.byteOffset);
+    for (unsigned i = 0; i < kBlockInsns; ++i) {
+        u16 hi = img_.highDict.read(br);
+        u16 lo = img_.lowDict.read(br);
+        out.words[i] = (static_cast<u32>(hi) << 16) | lo;
+        out.endBit[i] = static_cast<u32>(br.bitPos());
+    }
+    u32 used_bytes = static_cast<u32>((br.bitPos() + 7) / 8);
+    if (block == 0) {
+        cps_assert(out.byteLen == used_bytes,
+                   "index entry length %u disagrees with decode %u",
+                   out.byteLen, used_bytes);
+    } else {
+        out.byteLen = used_bytes;
+    }
+    return out;
+}
+
+std::vector<u32>
+Decompressor::decompressAll() const
+{
+    std::vector<u32> out;
+    out.reserve(img_.paddedInsns);
+    for (u32 g = 0; g < img_.numGroups(); ++g) {
+        for (u32 b = 0; b < kBlocksPerGroup; ++b) {
+            DecodedBlock blk = decompressBlock(g, b);
+            out.insert(out.end(), blk.words.begin(), blk.words.end());
+        }
+    }
+    out.resize(img_.origTextBytes / 4); // drop the NOP padding
+    return out;
+}
+
+} // namespace codepack
+} // namespace cps

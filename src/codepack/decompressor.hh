@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Functional CodePack decompression (the bit-exact inverse of the
+ * compressor) plus the per-instruction bit positions the timing model
+ * needs to know which memory beat completes which instruction.
+ */
+
+#ifndef CPS_CODEPACK_DECOMPRESSOR_HH
+#define CPS_CODEPACK_DECOMPRESSOR_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+#include "compressor.hh"
+
+namespace cps
+{
+namespace codepack
+{
+
+/** One decompressed 16-instruction block. */
+struct DecodedBlock
+{
+    std::array<u32, kBlockInsns> words{};
+    /**
+     * For each instruction, the bit offset (from the start of the block's
+     * bytes) just past its final codeword bit. The serial decoder cannot
+     * emit instruction i before the beat carrying this bit arrives.
+     */
+    std::array<u32, kBlockInsns> endBit{};
+    u32 byteOffset = 0; ///< of the block within the compressed region
+    u32 byteLen = 0;
+    bool raw = false;
+};
+
+/** Stateless functional decompressor over a CompressedImage. */
+class Decompressor
+{
+  public:
+    explicit Decompressor(const CompressedImage &img) : img_(img) {}
+
+    /**
+     * Decompresses block @p block (0/1) of compression group @p group.
+     * Walks the index table exactly as the hardware would.
+     */
+    DecodedBlock decompressBlock(u32 group, u32 block) const;
+
+    /** Decompresses the flat block number @p flat_block. */
+    DecodedBlock
+    decompressFlatBlock(u32 flat_block) const
+    {
+        return decompressBlock(flat_block / kBlocksPerGroup,
+                               flat_block % kBlocksPerGroup);
+    }
+
+    /** Decompresses the whole image back to instruction words. */
+    std::vector<u32> decompressAll() const;
+
+    const CompressedImage &image() const { return img_; }
+
+  private:
+    const CompressedImage &img_;
+};
+
+} // namespace codepack
+} // namespace cps
+
+#endif // CPS_CODEPACK_DECOMPRESSOR_HH

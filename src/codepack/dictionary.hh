@@ -1,0 +1,114 @@
+/**
+ * @file
+ * CodePack halfword dictionaries.
+ *
+ * A dictionary assigns the most frequent 16-bit halfword values of a
+ * program's text to short variable-length codewords, bank by bank (the
+ * most frequent values land in the bank with the shortest codewords).
+ * Dictionaries are fixed at program load time and shipped with the
+ * compressed image (their bits are charged to the compressed size, as in
+ * the paper's Table 4).
+ */
+
+#ifndef CPS_CODEPACK_DICTIONARY_HH
+#define CPS_CODEPACK_DICTIONARY_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitstream.hh"
+#include "common/types.hh"
+#include "format.hh"
+
+namespace cps
+{
+namespace codepack
+{
+
+/** How one halfword value is encoded. */
+struct HalfEncoding
+{
+    bool raw = false;        ///< escape: 3-bit tag + 16 literal bits
+    bool zeroSpecial = false; ///< low-half value 0: lone 2-bit tag
+    unsigned bank = 0;       ///< dictionary bank (when !raw && !zeroSpecial)
+    u32 index = 0;           ///< index within the bank
+    unsigned tagBits = 0;
+    u32 tag = 0;
+    unsigned indexBits = 0;
+
+    unsigned totalBits() const { return tagBits + indexBits; }
+};
+
+/** One of the two CodePack dictionaries (high or low halfwords). */
+class Dictionary
+{
+  public:
+    /** Which half of the instruction this dictionary serves. */
+    enum class Kind { High, Low };
+
+    /** Creates an empty dictionary (every halfword encodes raw). */
+    explicit Dictionary(Kind kind);
+
+    /**
+     * Builds a dictionary from halfword frequency counts.
+     *
+     * Values are ranked by descending count (ties broken by value for
+     * determinism) and poured into the banks in order. A value is only
+     * admitted while doing so shrinks the program: admitting value v to a
+     * bank with b-bit codewords saves count*(3+16-b) bits of stream and
+     * costs 16 bits of dictionary storage.
+     *
+     * For Kind::Low the value 0 is never stored: it always has the
+     * special 2-bit codeword.
+     */
+    static Dictionary build(Kind kind,
+                            const std::unordered_map<u16, u64> &counts);
+
+    /**
+     * Reconstructs a dictionary from explicit per-bank entry lists
+     * (deserialization). Bank populations must fit the bank widths.
+     */
+    static Dictionary fromBankEntries(
+        Kind kind, const std::vector<std::vector<u16>> &entries);
+
+    Kind kind() const { return kind_; }
+
+    /** Number of banks (4 for high, 3 for low). */
+    unsigned numBanks() const { return numBanks_; }
+
+    /** The bank descriptors for this dictionary's kind. */
+    const Bank *banks() const { return banks_; }
+
+    /** Total entries stored across banks. */
+    unsigned totalEntries() const;
+
+    /** Bits of on-chip storage for the dictionary contents (16/entry). */
+    u64 storageBits() const { return u64{totalEntries()} * 16; }
+
+    /** How @p half would be encoded by this dictionary. */
+    HalfEncoding encode(u16 half) const;
+
+    /** The halfword stored at (@p bank, @p index). */
+    u16 lookup(unsigned bank, u32 index) const;
+
+    /** Appends the codeword for @p half to @p bw. */
+    void write(BitWriter &bw, u16 half) const;
+
+    /** Decodes one halfword from @p br (tag first, then index/raw). */
+    u16 read(BitReader &br) const;
+
+    /** Entries of bank @p bank (for dumps and tests). */
+    const std::vector<u16> &bankEntries(unsigned bank) const;
+
+  private:
+    Kind kind_;
+    const Bank *banks_;
+    unsigned numBanks_;
+    std::vector<std::vector<u16>> entries_;       // per bank
+    std::unordered_map<u16, HalfEncoding> lookup_; // value -> encoding
+};
+
+} // namespace codepack
+} // namespace cps
+
+#endif // CPS_CODEPACK_DICTIONARY_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * On-"disk" format constants for our CodePack reconstruction.
+ *
+ * The paper (MICRO-32 §3.1) pins these properties of IBM's scheme:
+ *   - each 32-bit instruction splits into 16-bit high and low halves;
+ *   - two dictionaries (< 512 entries each, ~2KB on chip) translate
+ *     halves to variable codewords of 2..11 bits = 2-3 bit tag + index;
+ *   - the low half value 0 is encoded with a lone 2-bit tag;
+ *   - halves absent from a dictionary are emitted raw behind a 3-bit tag;
+ *   - 16 instructions form a compression block; 2 blocks form a
+ *     compression group; blocks are byte aligned;
+ *   - one 32-bit index-table entry per group maps the group to its
+ *     compressed location (first block byte offset + short second-block
+ *     offset);
+ *   - a block whose compressed form would be larger than its native form
+ *     may be stored uncompressed.
+ *
+ * The exact tag/bank split below is our reconstruction (the IBM manual is
+ * out of print); every published constraint above is honoured. See
+ * DESIGN.md "CodePack encoding - reconstruction notes".
+ */
+
+#ifndef CPS_CODEPACK_FORMAT_HH
+#define CPS_CODEPACK_FORMAT_HH
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace cps
+{
+namespace codepack
+{
+
+/** Instructions per compression block. */
+constexpr unsigned kBlockInsns = 16;
+/** Blocks per compression group (one index entry per group). */
+constexpr unsigned kBlocksPerGroup = 2;
+/** Instructions per compression group. */
+constexpr unsigned kGroupInsns = kBlockInsns * kBlocksPerGroup;
+/** Native bytes covered by one compression group. */
+constexpr unsigned kGroupNativeBytes = kGroupInsns * 4;
+/** Native bytes of one block stored raw (escape). */
+constexpr unsigned kRawBlockBytes = kBlockInsns * 4;
+
+/** Tag values (MSB-first bit patterns). */
+constexpr u32 kTag0 = 0b00;   ///< 2 bits
+constexpr u32 kTag1 = 0b01;   ///< 2 bits
+constexpr u32 kTag2 = 0b10;   ///< 2 bits
+constexpr u32 kTag3 = 0b110;  ///< 3 bits
+constexpr u32 kTagRaw = 0b111; ///< 3 bits, followed by 16 literal bits
+
+/** Number of literal bits behind a raw tag. */
+constexpr unsigned kRawLiteralBits = 16;
+
+/** One dictionary bank: a tag plus a fixed-width index. */
+struct Bank
+{
+    unsigned tagBits;
+    u32 tag;
+    unsigned indexBits;
+
+    constexpr unsigned entries() const { return 1u << indexBits; }
+    constexpr unsigned codeBits() const { return tagBits + indexBits; }
+};
+
+/**
+ * High-halfword banks: 16 + 64 + 128 + 256 = 464 entries (< 512),
+ * codewords of 6, 8, 9 and 11 bits.
+ */
+constexpr Bank kHighBanks[] = {
+    {2, kTag0, 4},
+    {2, kTag1, 6},
+    {2, kTag2, 7},
+    {3, kTag3, 8},
+};
+constexpr unsigned kNumHighBanks = 4;
+
+/**
+ * Low-halfword banks: kTag0 is the special "value 0" codeword (2 bits,
+ * no index); the dictionary proper is 16 + 128 + 256 = 400 entries
+ * (< 512) with codewords of 6, 9 and 11 bits.
+ */
+constexpr Bank kLowBanks[] = {
+    {2, kTag1, 4},
+    {2, kTag2, 7},
+    {3, kTag3, 8},
+};
+constexpr unsigned kNumLowBanks = 3;
+
+/** Bits of the lone low-half "zero" codeword. */
+constexpr unsigned kLowZeroBits = 2;
+
+/**
+ * Index-table entry layout (32 bits per compression group):
+ *   bits [22:0]  first-block byte offset into the compressed region
+ *   bit  [23]    first block stored raw (escape)
+ *   bits [30:24] second-block byte offset relative to the first block
+ *   bit  [31]    second block stored raw (escape)
+ */
+constexpr unsigned kIdxFirstOffsetBits = 23;
+constexpr unsigned kIdxSecondOffsetBits = 7;
+constexpr u32 kIdxFirstOffsetMask = (1u << kIdxFirstOffsetBits) - 1;
+
+constexpr u32
+makeIndexEntry(u32 first_off, bool first_raw, u32 second_off,
+               bool second_raw)
+{
+    return (first_off & kIdxFirstOffsetMask) |
+           (static_cast<u32>(first_raw) << 23) |
+           ((second_off & ((1u << kIdxSecondOffsetBits) - 1)) << 24) |
+           (static_cast<u32>(second_raw) << 31);
+}
+
+constexpr u32 idxFirstOffset(u32 e) { return e & kIdxFirstOffsetMask; }
+constexpr bool idxFirstRaw(u32 e) { return (e >> 23) & 1u; }
+constexpr u32
+idxSecondOffset(u32 e)
+{
+    return (e >> 24) & ((1u << kIdxSecondOffsetBits) - 1);
+}
+constexpr bool idxSecondRaw(u32 e) { return (e >> 31) & 1u; }
+
+} // namespace codepack
+} // namespace cps
+
+#endif // CPS_CODEPACK_FORMAT_HH

@@ -1,0 +1,161 @@
+#include "imagefile.hh"
+
+#include "common/byteio.hh"
+#include "common/logging.hh"
+
+namespace cps
+{
+namespace codepack
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'P', 'S', 'C', 'P', 'K', '1', '\0'};
+
+void
+putDictionary(std::vector<u8> &out, const Dictionary &dict)
+{
+    put8(out, static_cast<u8>(dict.numBanks()));
+    for (unsigned b = 0; b < dict.numBanks(); ++b) {
+        const std::vector<u16> &entries = dict.bankEntries(b);
+        put16(out, static_cast<u16>(entries.size()));
+        for (u16 e : entries)
+            put16(out, e);
+    }
+}
+
+std::optional<Dictionary>
+getDictionary(ByteCursor &cur, Dictionary::Kind kind)
+{
+    unsigned banks = cur.get8();
+    unsigned expect = kind == Dictionary::Kind::High ? kNumHighBanks
+                                                     : kNumLowBanks;
+    if (!cur.ok() || banks != expect)
+        return std::nullopt;
+    std::vector<std::vector<u16>> entries(banks);
+    const Bank *bank_desc =
+        kind == Dictionary::Kind::High ? kHighBanks : kLowBanks;
+    for (unsigned b = 0; b < banks; ++b) {
+        u16 count = cur.get16();
+        if (!cur.ok() || count > bank_desc[b].entries())
+            return std::nullopt;
+        entries[b].reserve(count);
+        for (u16 i = 0; i < count; ++i)
+            entries[b].push_back(cur.get16());
+    }
+    if (!cur.ok())
+        return std::nullopt;
+    return Dictionary::fromBankEntries(kind, entries);
+}
+
+} // namespace
+
+std::vector<u8>
+encodeImage(const CompressedImage &img)
+{
+    std::vector<u8> out;
+    for (char c : kMagic)
+        out.push_back(static_cast<u8>(c));
+    put32(out, img.textBase);
+    put32(out, img.origTextBytes);
+    put32(out, img.paddedInsns);
+
+    put32(out, static_cast<u32>(img.indexTable.size()));
+    for (u32 e : img.indexTable)
+        put32(out, e);
+
+    put32(out, static_cast<u32>(img.bytes.size()));
+    out.insert(out.end(), img.bytes.begin(), img.bytes.end());
+
+    putDictionary(out, img.highDict);
+    putDictionary(out, img.lowDict);
+
+    put32(out, static_cast<u32>(img.blocks.size()));
+    for (const BlockExtent &b : img.blocks) {
+        put32(out, b.byteOffset);
+        put32(out, b.byteLen);
+        put8(out, b.raw ? 1 : 0);
+    }
+
+    put64(out, img.comp.indexTableBits);
+    put64(out, img.comp.dictionaryBits);
+    put64(out, img.comp.compressedTagBits);
+    put64(out, img.comp.dictIndexBits);
+    put64(out, img.comp.rawTagBits);
+    put64(out, img.comp.rawBits);
+    put64(out, img.comp.padBits);
+    return out;
+}
+
+std::optional<CompressedImage>
+decodeImage(const std::vector<u8> &bytes)
+{
+    ByteCursor cur(bytes);
+    if (!cur.expectMagic(kMagic, sizeof(kMagic)))
+        return std::nullopt;
+
+    CompressedImage img;
+    img.textBase = cur.get32();
+    img.origTextBytes = cur.get32();
+    img.paddedInsns = cur.get32();
+
+    u32 groups = cur.get32();
+    if (!cur.ok() || groups != img.paddedInsns / kGroupInsns)
+        return std::nullopt;
+    img.indexTable.reserve(groups);
+    for (u32 i = 0; i < groups; ++i)
+        img.indexTable.push_back(cur.get32());
+
+    u32 stream_len = cur.get32();
+    img.bytes = cur.getBytes(stream_len);
+
+    auto high = getDictionary(cur, Dictionary::Kind::High);
+    auto low = getDictionary(cur, Dictionary::Kind::Low);
+    if (!high || !low)
+        return std::nullopt;
+    img.highDict = *high;
+    img.lowDict = *low;
+
+    u32 num_blocks = cur.get32();
+    if (!cur.ok() || num_blocks != groups * kBlocksPerGroup)
+        return std::nullopt;
+    img.blocks.reserve(num_blocks);
+    for (u32 i = 0; i < num_blocks; ++i) {
+        BlockExtent b;
+        b.byteOffset = cur.get32();
+        b.byteLen = cur.get32();
+        b.raw = cur.get8() != 0;
+        img.blocks.push_back(b);
+    }
+
+    img.comp.indexTableBits = cur.get64();
+    img.comp.dictionaryBits = cur.get64();
+    img.comp.compressedTagBits = cur.get64();
+    img.comp.dictIndexBits = cur.get64();
+    img.comp.rawTagBits = cur.get64();
+    img.comp.rawBits = cur.get64();
+    img.comp.padBits = cur.get64();
+
+    if (!cur.ok())
+        return std::nullopt;
+    return img;
+}
+
+bool
+saveImage(const CompressedImage &img, const std::string &path)
+{
+    return writeFileBytes(path, encodeImage(img));
+}
+
+std::optional<CompressedImage>
+loadImage(const std::string &path)
+{
+    auto bytes = readFileBytes(path);
+    if (!bytes)
+        return std::nullopt;
+    return decodeImage(*bytes);
+}
+
+} // namespace codepack
+} // namespace cps

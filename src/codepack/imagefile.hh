@@ -1,0 +1,34 @@
+/**
+ * @file
+ * On-disk format for compressed images, mirroring what a CodePack build
+ * chain would ship to a target: the compressed byte region, the index
+ * table, both dictionaries, and the compression metadata.
+ */
+
+#ifndef CPS_CODEPACK_IMAGEFILE_HH
+#define CPS_CODEPACK_IMAGEFILE_HH
+
+#include <optional>
+#include <string>
+
+#include "compressor.hh"
+
+namespace cps
+{
+namespace codepack
+{
+
+/** Serializes @p img to @p path. @return false on I/O failure. */
+bool saveImage(const CompressedImage &img, const std::string &path);
+
+/** Loads an image saved by saveImage. nullopt on error/corruption. */
+std::optional<CompressedImage> loadImage(const std::string &path);
+
+/** In-memory encode/decode counterparts. */
+std::vector<u8> encodeImage(const CompressedImage &img);
+std::optional<CompressedImage> decodeImage(const std::vector<u8> &bytes);
+
+} // namespace codepack
+} // namespace cps
+
+#endif // CPS_CODEPACK_IMAGEFILE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the ISA encoders, the CodePack
+ * bitstream codec, and the cache index math.
+ */
+
+#ifndef CPS_COMMON_BITOPS_HH
+#define CPS_COMMON_BITOPS_HH
+
+#include <bit>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace cps
+{
+
+/** Extracts bits [lo, lo+width) of @p value (lo = bit 0 is the LSB). */
+constexpr u32
+bitsOf(u32 value, unsigned lo, unsigned width)
+{
+    return (width >= 32) ? (value >> lo)
+                         : ((value >> lo) & ((1u << width) - 1u));
+}
+
+/** Inserts the low @p width bits of @p field at bit position @p lo. */
+constexpr u32
+insertBits(u32 value, unsigned lo, unsigned width, u32 field)
+{
+    u32 mask = (width >= 32) ? ~0u : ((1u << width) - 1u);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extends the low @p width bits of @p value to 32 bits. */
+constexpr s32
+signExtend(u32 value, unsigned width)
+{
+    u32 shift = 32 - width;
+    return static_cast<s32>(value << shift) >> shift;
+}
+
+/** True when @p value is a power of two (0 excluded). */
+constexpr bool
+isPow2(u64 value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2i(u64 value)
+{
+    return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/** Rounds @p value up to the next multiple of the power-of-two @p align. */
+constexpr u64
+roundUp(u64 value, u64 align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Rounds @p value down to a multiple of the power-of-two @p align. */
+constexpr u64
+roundDown(u64 value, u64 align)
+{
+    return value & ~(align - 1);
+}
+
+/** Integer division rounding up. */
+constexpr u64
+divCeil(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace cps
+
+#endif // CPS_COMMON_BITOPS_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * MSB-first bitstream reader/writer.
+ *
+ * CodePack codewords are variable-length bit strings packed back to back;
+ * blocks are then padded out to a byte boundary. The writer emits bits
+ * most-significant-first within each byte (the natural order for a
+ * hardware shifter scanning a byte stream), and the reader consumes them
+ * in the same order.
+ */
+
+#ifndef CPS_COMMON_BITSTREAM_HH
+#define CPS_COMMON_BITSTREAM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace cps
+{
+
+/** Appends variable-width bit fields to a growing byte vector. */
+class BitWriter
+{
+  public:
+    BitWriter() = default;
+
+    /**
+     * Appends the low @p width bits of @p value, MSB first.
+     * @param value field to append (upper bits beyond width are ignored)
+     * @param width number of bits, 0..32
+     */
+    void
+    put(u32 value, unsigned width)
+    {
+        cps_assert(width <= 32, "bit width out of range");
+        for (unsigned i = width; i > 0; --i)
+            putBit((value >> (i - 1)) & 1u);
+    }
+
+    /** Appends a single bit. */
+    void
+    putBit(unsigned bit)
+    {
+        if (bitPos_ == 0)
+            bytes_.push_back(0);
+        if (bit)
+            bytes_.back() |= static_cast<u8>(1u << (7 - bitPos_));
+        bitPos_ = (bitPos_ + 1) & 7;
+    }
+
+    /**
+     * Pads with zero bits up to the next byte boundary.
+     * @return the number of padding bits emitted (0..7)
+     */
+    unsigned
+    alignByte()
+    {
+        unsigned pad = (8 - bitPos_) & 7;
+        for (unsigned i = 0; i < pad; ++i)
+            putBit(0);
+        return pad;
+    }
+
+    /** Total number of bits written so far. */
+    size_t bitSize() const { return bytes_.size() * 8 - ((8 - bitPos_) & 7); }
+
+    /** Byte size (including any partially filled trailing byte). */
+    size_t byteSize() const { return bytes_.size(); }
+
+    /** True when the stream currently ends on a byte boundary. */
+    bool byteAligned() const { return bitPos_ == 0; }
+
+    /** The accumulated bytes. The final byte is zero-padded. */
+    const std::vector<u8> &bytes() const { return bytes_; }
+
+    /** Moves the accumulated bytes out and resets the writer. */
+    std::vector<u8>
+    take()
+    {
+        bitPos_ = 0;
+        return std::move(bytes_);
+    }
+
+  private:
+    std::vector<u8> bytes_;
+    unsigned bitPos_ = 0; // 0..7, next bit position within bytes_.back()
+};
+
+/** Reads variable-width bit fields from a byte span, MSB first. */
+class BitReader
+{
+  public:
+    /**
+     * @param data backing bytes (not owned; must outlive the reader)
+     * @param size number of valid bytes at @p data
+     */
+    BitReader(const u8 *data, size_t size) : data_(data), bitCount_(size * 8)
+    {}
+
+    explicit BitReader(const std::vector<u8> &bytes)
+        : BitReader(bytes.data(), bytes.size())
+    {}
+
+    /** Reads @p width bits as an unsigned value. */
+    u32
+    get(unsigned width)
+    {
+        cps_assert(width <= 32, "bit width out of range");
+        u32 out = 0;
+        for (unsigned i = 0; i < width; ++i)
+            out = (out << 1) | getBit();
+        return out;
+    }
+
+    /** Reads a single bit. */
+    unsigned
+    getBit()
+    {
+        cps_assert(cursor_ < bitCount_, "bitstream underrun");
+        unsigned byte = static_cast<unsigned>(cursor_ >> 3);
+        unsigned bit = 7 - static_cast<unsigned>(cursor_ & 7);
+        ++cursor_;
+        return (data_[byte] >> bit) & 1u;
+    }
+
+    /** Peeks @p width bits without consuming them (must be available). */
+    u32
+    peek(unsigned width)
+    {
+        size_t save = cursor_;
+        u32 out = get(width);
+        cursor_ = save;
+        return out;
+    }
+
+    /** Skips forward to the next byte boundary. */
+    void skipToByte() { cursor_ = (cursor_ + 7) & ~static_cast<size_t>(7); }
+
+    /** Repositions the read cursor to an absolute bit offset. */
+    void
+    seekBit(size_t bit_offset)
+    {
+        cps_assert(bit_offset <= bitCount_, "seek past end of bitstream");
+        cursor_ = bit_offset;
+    }
+
+    /** Absolute bit offset of the next bit to be read. */
+    size_t bitPos() const { return cursor_; }
+
+    /** Number of bits remaining. */
+    size_t bitsLeft() const { return bitCount_ - cursor_; }
+
+  private:
+    const u8 *data_;
+    size_t bitCount_;
+    size_t cursor_ = 0;
+};
+
+} // namespace cps
+
+#endif // CPS_COMMON_BITSTREAM_HH

@@ -1,0 +1,40 @@
+#include "byteio.hh"
+
+#include <cstdio>
+
+namespace cps
+{
+
+bool
+writeFileBytes(const std::string &path, const std::vector<u8> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    return n == bytes.size();
+}
+
+std::optional<std::vector<u8>>
+readFileBytes(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return std::nullopt;
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+        std::fclose(f);
+        return std::nullopt;
+    }
+    std::vector<u8> bytes(static_cast<size_t>(size));
+    size_t n = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (n != bytes.size())
+        return std::nullopt;
+    return bytes;
+}
+
+} // namespace cps

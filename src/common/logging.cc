@@ -1,0 +1,102 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cps
+{
+
+namespace
+{
+
+std::atomic<unsigned long> numWarnings{0};
+std::atomic<bool> quietMode{false};
+
+} // namespace
+
+std::string
+vstrfmt(const char *fmt, std::va_list ap)
+{
+    std::va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return "<format error>";
+    std::string out(static_cast<size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string out = vstrfmt(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    numWarnings.fetch_add(1, std::memory_order_relaxed);
+    if (quietMode.load(std::memory_order_relaxed))
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    if (quietMode.load(std::memory_order_relaxed))
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+unsigned long
+warnCount()
+{
+    return numWarnings.load(std::memory_order_relaxed);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace cps

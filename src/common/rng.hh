@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this repository that needs randomness (the synthetic
+ * benchmark generator, property-based tests) uses this generator so that
+ * runs are reproducible bit for bit across platforms: we never rely on
+ * std::rand or on unspecified standard-library distributions.
+ */
+
+#ifndef CPS_COMMON_RNG_HH
+#define CPS_COMMON_RNG_HH
+
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace cps
+{
+
+/** xorshift64* generator; fast, deterministic, and good enough for us. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // splitmix64 the seed so that small seeds still diverge quickly.
+        u64 z = seed + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        state_ = z ^ (z >> 31);
+        if (state_ == 0)
+            state_ = 0x9e3779b97f4a7c15ULL;
+    }
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        u64 x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        cps_assert(bound != 0, "Rng::below(0)");
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    u64
+    range(u64 lo, u64 hi)
+    {
+        cps_assert(lo <= hi, "Rng::range with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** True with probability @p percent / 100. */
+    bool chancePercent(unsigned percent) { return below(100) < percent; }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Draws an index according to integer weights.
+     * @param weights per-index weights; at least one must be nonzero
+     */
+    size_t
+    weighted(const std::vector<u32> &weights)
+    {
+        u64 total = 0;
+        for (u32 w : weights)
+            total += w;
+        cps_assert(total > 0, "weighted draw with all-zero weights");
+        u64 pick = below(total);
+        for (size_t i = 0; i < weights.size(); ++i) {
+            if (pick < weights[i])
+                return i;
+            pick -= weights[i];
+        }
+        cps_panic("weighted draw fell off the end");
+    }
+
+    /**
+     * Geometric-flavoured draw in [lo, hi]: small values are much more
+     * common than large ones. Used to mimic immediate-field and stack
+     * offset distributions in real compiled code.
+     */
+    u64
+    skewedRange(u64 lo, u64 hi)
+    {
+        // Square a uniform draw to push mass toward lo.
+        double u = uniform();
+        double t = u * u;
+        return lo + static_cast<u64>(t * static_cast<double>(hi - lo + 1)) %
+            (hi - lo + 1);
+    }
+
+  private:
+    u64 state_;
+};
+
+} // namespace cps
+
+#endif // CPS_COMMON_RNG_HH

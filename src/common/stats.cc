@@ -1,0 +1,62 @@
+#include "stats.hh"
+
+#include <cstdio>
+
+namespace cps
+{
+
+Counter &
+StatSet::scalar(const std::string &name)
+{
+    return counters_[name];
+}
+
+u64
+StatSet::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return counters_.find(name) != counters_.end();
+}
+
+double
+StatSet::ratio(const std::string &num, const std::string &den) const
+{
+    u64 d = value(den);
+    if (d == 0)
+        return 0.0;
+    return static_cast<double>(value(num)) / static_cast<double>(d);
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+}
+
+std::vector<std::pair<std::string, u64>>
+StatSet::snapshot() const
+{
+    std::vector<std::pair<std::string, u64>> out;
+    out.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        out.emplace_back(kv.first, kv.second.value());
+    return out;
+}
+
+void
+StatSet::dump(const std::string &prefix) const
+{
+    for (const auto &kv : counters_) {
+        std::printf("%s%-40s %20llu\n", prefix.c_str(), kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second.value()));
+    }
+}
+
+} // namespace cps

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Simulator components register scalar counters with a StatSet; at the end
+ * of a run the set can be dumped, queried by name, or folded into derived
+ * ratios (miss rates, IPC). The design intentionally mirrors the spirit of
+ * the SimpleScalar / gem5 stats packages at a fraction of the machinery.
+ */
+
+#ifndef CPS_COMMON_STATS_HH
+#define CPS_COMMON_STATS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace cps
+{
+
+/** A single named 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(u64 by = 1) { value_ += by; }
+    void set(u64 v) { value_ = v; }
+    u64 value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/**
+ * A flat collection of counters addressed by dotted names, e.g.
+ * "icache.misses". Components hold Counter references obtained from
+ * scalar(); the set retains ownership and stable addresses.
+ */
+class StatSet
+{
+  public:
+    StatSet() = default;
+    StatSet(const StatSet &) = delete;
+    StatSet &operator=(const StatSet &) = delete;
+
+    /**
+     * Returns the counter registered under @p name, creating it on first
+     * use. References remain valid for the life of the StatSet.
+     */
+    Counter &scalar(const std::string &name);
+
+    /** Value of @p name; 0 when the counter was never registered. */
+    u64 value(const std::string &name) const;
+
+    /** True when a counter named @p name exists. */
+    bool has(const std::string &name) const;
+
+    /**
+     * Ratio numerator/denominator of two counters.
+     * @return 0.0 when the denominator is zero
+     */
+    double ratio(const std::string &num, const std::string &den) const;
+
+    /** Resets every counter to zero. */
+    void resetAll();
+
+    /** Sorted (name, value) snapshot for dumping. */
+    std::vector<std::pair<std::string, u64>> snapshot() const;
+
+    /** Prints "name = value" lines to stdout, sorted by name. */
+    void dump(const std::string &prefix = "") const;
+
+  private:
+    // std::map keeps iteration sorted and never invalidates references.
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace cps
+
+#endif // CPS_COMMON_STATS_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental integer and simulation-time types shared by every module.
+ */
+
+#ifndef CPS_COMMON_TYPES_HH
+#define CPS_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cps
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** Byte address in the simulated (native, uncompressed) address space. */
+using Addr = u32;
+
+/** Byte address in the compressed address space. */
+using CAddr = u32;
+
+/** Absolute simulation time in core clock cycles. */
+using Cycle = u64;
+
+/** Sentinel for "never" / "not yet scheduled". */
+constexpr Cycle kCycleNever = ~static_cast<Cycle>(0);
+
+/** Sentinel for an invalid address. */
+constexpr Addr kAddrInvalid = ~static_cast<Addr>(0);
+
+} // namespace cps
+
+#endif // CPS_COMMON_TYPES_HH

@@ -1,0 +1,137 @@
+#include "dict32.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/isa.hh"
+
+namespace cps
+{
+namespace compress
+{
+
+Dict32Image
+Dict32Image::compress(const std::vector<u32> &words, Addr text_base)
+{
+    Dict32Image img;
+    img.textBase_ = text_base;
+    img.origTextBytes_ = static_cast<u32>(words.size() * 4);
+
+    std::vector<u32> padded = words;
+    while (padded.size() % 8 != 0)
+        padded.push_back(kNopWord);
+
+    // Rank whole instructions by frequency.
+    std::unordered_map<u32, u64> counts;
+    for (u32 w : padded)
+        ++counts[w];
+    std::vector<std::pair<u32, u64>> ranked(counts.begin(), counts.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto &a,
+                                               const auto &b) {
+        if (a.second != b.second)
+            return a.second > b.second;
+        return a.first < b.first;
+    });
+
+    // Bank A: 1-byte codewords; bank B: 2-byte codewords. A bank-B
+    // entry must save more stream bytes (2/occurrence) than it costs in
+    // dictionary storage (4 bytes): count >= 3.
+    for (const auto &[value, count] : ranked) {
+        u32 index = static_cast<u32>(img.dict_.size());
+        if (index < kBankA) {
+            img.dict_.push_back(value);
+            img.lookup_[value] = index;
+        } else if (index < kBankA + kBankBMax && count >= 3) {
+            img.dict_.push_back(value);
+            img.lookup_[value] = index;
+        } else if (index >= kBankA + kBankBMax) {
+            break;
+        }
+    }
+
+    // Encode, line by line (8 instructions per 32-byte I-cache line).
+    u32 num_lines = static_cast<u32>(padded.size() / 8);
+    img.lineOffsets_.reserve(num_lines);
+    img.insnEnds_.reserve(num_lines);
+    for (u32 line = 0; line < num_lines; ++line) {
+        img.lineOffsets_.push_back(static_cast<u32>(img.bytes_.size()));
+        std::array<u32, 8> ends{};
+        for (unsigned i = 0; i < 8; ++i) {
+            u32 w = padded[line * 8 + i];
+            auto it = img.lookup_.find(w);
+            if (it == img.lookup_.end()) {
+                img.bytes_.push_back(0xc0); // escape
+                img.bytes_.push_back(static_cast<u8>(w));
+                img.bytes_.push_back(static_cast<u8>(w >> 8));
+                img.bytes_.push_back(static_cast<u8>(w >> 16));
+                img.bytes_.push_back(static_cast<u8>(w >> 24));
+            } else if (it->second < kBankA) {
+                img.bytes_.push_back(static_cast<u8>(it->second));
+            } else {
+                u32 idx = it->second - kBankA;
+                img.bytes_.push_back(
+                    static_cast<u8>(0x80 | ((idx >> 8) & 0x3f)));
+                img.bytes_.push_back(static_cast<u8>(idx));
+            }
+            ends[i] = static_cast<u32>(img.bytes_.size());
+        }
+        img.insnEnds_.push_back(ends);
+    }
+    return img;
+}
+
+LineExtent
+Dict32Image::extent(u32 line) const
+{
+    cps_assert(line < numLines(), "dict32 line %u out of range", line);
+    LineExtent ext;
+    ext.byteOffset = lineOffsets_[line];
+    u32 end = line + 1 < numLines() ? lineOffsets_[line + 1]
+                                    : static_cast<u32>(bytes_.size());
+    ext.byteLen = end - ext.byteOffset;
+    return ext;
+}
+
+std::array<u32, 8>
+Dict32Image::insnEndBytes(u32 line) const
+{
+    cps_assert(line < numLines(), "dict32 line %u out of range", line);
+    return insnEnds_[line];
+}
+
+std::vector<u32>
+Dict32Image::decompressAll() const
+{
+    std::vector<u32> out;
+    out.reserve(static_cast<size_t>(numLines()) * 8);
+    size_t pos = 0;
+    while (out.size() < static_cast<size_t>(numLines()) * 8) {
+        u8 b = bytes_[pos++];
+        if ((b & 0x80) == 0) {
+            out.push_back(dict_[b]);
+        } else if ((b & 0xc0) == 0x80) {
+            u32 idx = (static_cast<u32>(b & 0x3f) << 8) | bytes_[pos++];
+            out.push_back(dict_[kBankA + idx]);
+        } else {
+            cps_assert(b == 0xc0, "corrupt dict32 stream");
+            u32 w = bytes_[pos] | (static_cast<u32>(bytes_[pos + 1]) << 8) |
+                    (static_cast<u32>(bytes_[pos + 2]) << 16) |
+                    (static_cast<u32>(bytes_[pos + 3]) << 24);
+            pos += 4;
+            out.push_back(w);
+        }
+    }
+    out.resize(origTextBytes_ / 4);
+    return out;
+}
+
+double
+Dict32Image::compressionRatio() const
+{
+    u64 total_bits = streamBits() + latBits() + dictionaryBits();
+    return static_cast<double>(total_bits) / 8.0 /
+           static_cast<double>(origTextBytes_);
+}
+
+} // namespace compress
+} // namespace cps

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Lefurgy'97-style whole-instruction dictionary compression: complete
+ * 32-bit instructions are replaced by 1- or 2-byte codewords indexing a
+ * dictionary of up to a few thousand entries; instructions outside the
+ * dictionary follow an escape byte verbatim. The paper (§2.3) notes this
+ * compresses about as well as CodePack but needs a much larger
+ * dictionary, which could slow high-speed implementations.
+ *
+ * Codeword format (byte aligned, MSB first):
+ *   0xxxxxxx                      7-bit index into bank A (128 entries)
+ *   10xxxxxx yyyyyyyy             14-bit index into bank B (up to 16384)
+ *   11000000 + 4 literal bytes    escape: raw instruction
+ */
+
+#ifndef CPS_COMPRESS_DICT32_HH
+#define CPS_COMPRESS_DICT32_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "line_codec.hh"
+
+namespace cps
+{
+namespace compress
+{
+
+/** A dict32-compressed text image. */
+class Dict32Image : public LineCodec
+{
+  public:
+    static constexpr unsigned kBankA = 128;
+    static constexpr unsigned kBankBMax = 4096;
+
+    static Dict32Image compress(const std::vector<u32> &words,
+                                Addr text_base);
+
+    std::vector<u32> decompressAll() const;
+
+    // LineCodec interface -------------------------------------------------
+    u32 numLines() const override
+    {
+        return static_cast<u32>(lineOffsets_.size());
+    }
+    Addr textBase() const override { return textBase_; }
+    LineExtent extent(u32 line) const override;
+    std::array<u32, 8> insnEndBytes(u32 line) const override;
+    unsigned decodeCyclesPerInsn() const override { return 1; }
+    const char *name() const override { return "dict32"; }
+
+    double compressionRatio() const;
+
+    u64 latBits() const { return u64{numLines()} * 32; }
+    u64 dictionaryBits() const { return u64{dict_.size()} * 32; }
+    u64 streamBits() const { return u64{bytes_.size()} * 8; }
+    u32 origTextBytes() const { return origTextBytes_; }
+    size_t dictionaryEntries() const { return dict_.size(); }
+
+  private:
+    Addr textBase_ = 0;
+    u32 origTextBytes_ = 0;
+    std::vector<u8> bytes_;
+    std::vector<u32> lineOffsets_;
+    std::vector<std::array<u32, 8>> insnEnds_;
+    std::vector<u32> dict_; ///< bank A then bank B
+    std::unordered_map<u32, u32> lookup_;
+};
+
+} // namespace compress
+} // namespace cps
+
+#endif // CPS_COMPRESS_DICT32_HH

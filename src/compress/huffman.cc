@@ -1,0 +1,186 @@
+#include "huffman.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace cps
+{
+namespace compress
+{
+
+namespace
+{
+
+/** Computes optimal (unbounded) Huffman code lengths for 256 symbols. */
+std::array<u8, 256>
+optimalLengths(const std::array<u64, 256> &counts)
+{
+    struct Node
+    {
+        u64 weight;
+        int left = -1, right = -1;
+        int symbol = -1;
+    };
+
+    std::vector<Node> nodes;
+    auto cmp = [&nodes](int a, int b) {
+        if (nodes[a].weight != nodes[b].weight)
+            return nodes[a].weight > nodes[b].weight;
+        return a > b; // deterministic tie break
+    };
+    std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+
+    for (int s = 0; s < 256; ++s) {
+        Node n;
+        // Give absent symbols weight 1 so everything stays encodable.
+        n.weight = counts[s] > 0 ? counts[s] : 1;
+        n.symbol = s;
+        nodes.push_back(n);
+        heap.push(s);
+    }
+    while (heap.size() > 1) {
+        int a = heap.top();
+        heap.pop();
+        int b = heap.top();
+        heap.pop();
+        Node parent;
+        parent.weight = nodes[a].weight + nodes[b].weight;
+        parent.left = a;
+        parent.right = b;
+        nodes.push_back(parent);
+        heap.push(static_cast<int>(nodes.size() - 1));
+    }
+
+    std::array<u8, 256> lengths{};
+    // Iterative depth walk.
+    std::vector<std::pair<int, unsigned>> stack;
+    stack.emplace_back(static_cast<int>(nodes.size() - 1), 0);
+    while (!stack.empty()) {
+        auto [idx, depth] = stack.back();
+        stack.pop_back();
+        const Node &n = nodes[idx];
+        if (n.symbol >= 0) {
+            lengths[n.symbol] = static_cast<u8>(std::max(1u, depth));
+            continue;
+        }
+        stack.emplace_back(n.left, depth + 1);
+        stack.emplace_back(n.right, depth + 1);
+    }
+    return lengths;
+}
+
+/** Caps code lengths at @p max_len (JPEG-style histogram adjustment). */
+void
+limitLengths(std::array<u32, 64> &bl_count, unsigned max_len)
+{
+    for (unsigned i = 63; i > max_len; --i) {
+        while (bl_count[i] > 0) {
+            unsigned j = i - 2;
+            while (bl_count[j] == 0)
+                --j;
+            bl_count[i] -= 2;
+            bl_count[i - 1] += 1;
+            bl_count[j + 1] += 2;
+            bl_count[j] -= 1;
+        }
+    }
+}
+
+} // namespace
+
+HuffmanCode
+HuffmanCode::build(const std::array<u64, 256> &counts)
+{
+    std::array<u8, 256> lengths = optimalLengths(counts);
+
+    // Histogram of lengths, then limit to kMaxLen.
+    std::array<u32, 64> bl_count{};
+    for (u8 len : lengths)
+        ++bl_count[len];
+    limitLengths(bl_count, kMaxLen);
+
+    // Rank symbols by (original length, value) and hand out the adjusted
+    // lengths in that order: the most compressible symbols keep the
+    // shortest codes.
+    std::array<u16, 256> order;
+    for (int s = 0; s < 256; ++s)
+        order[s] = static_cast<u16>(s);
+    std::sort(order.begin(), order.end(), [&lengths](u16 a, u16 b) {
+        if (lengths[a] != lengths[b])
+            return lengths[a] < lengths[b];
+        return a < b;
+    });
+
+    HuffmanCode hc;
+    {
+        unsigned len = 1;
+        u32 remaining = bl_count[1];
+        for (u16 sym : order) {
+            while (remaining == 0) {
+                ++len;
+                cps_assert(len <= kMaxLen, "length limiting failed");
+                remaining = bl_count[len];
+            }
+            hc.length_[sym] = static_cast<u8>(len);
+            --remaining;
+        }
+    }
+
+    // Canonical code assignment (RFC 1951 style).
+    std::array<u32, kMaxLen + 2> next_code{};
+    u32 code = 0;
+    std::array<u32, kMaxLen + 2> count_per_len{};
+    for (int s = 0; s < 256; ++s)
+        ++count_per_len[hc.length_[s]];
+    for (unsigned len = 1; len <= kMaxLen; ++len) {
+        code = (code + count_per_len[len - 1]) << 1;
+        next_code[len] = code;
+        hc.firstCode_[len] = code;
+    }
+
+    // Symbols sorted by (length, value) drive both encode values and the
+    // decode table.
+    std::sort(order.begin(), order.end(), [&hc](u16 a, u16 b) {
+        if (hc.length_[a] != hc.length_[b])
+            return hc.length_[a] < hc.length_[b];
+        return a < b;
+    });
+    u16 index = 0;
+    unsigned prev_len = 0;
+    for (u16 sym : order) {
+        unsigned len = hc.length_[sym];
+        hc.code_[sym] = static_cast<u16>(next_code[len]++);
+        if (len != prev_len) {
+            for (unsigned l = prev_len + 1; l <= len; ++l)
+                hc.firstSymbolIndex_[l] = index;
+            prev_len = len;
+        }
+        hc.sortedSymbols_[index++] = sym;
+    }
+    for (unsigned l = prev_len + 1; l <= kMaxLen + 1; ++l)
+        hc.firstSymbolIndex_[l] = index;
+
+    return hc;
+}
+
+u8
+HuffmanCode::decode(BitReader &br) const
+{
+    u32 code = 0;
+    for (unsigned len = 1; len <= kMaxLen; ++len) {
+        code = (code << 1) | br.getBit();
+        u32 count = firstSymbolIndex_[len + 1] - firstSymbolIndex_[len];
+        if (count > 0 && code >= firstCode_[len] &&
+            code < firstCode_[len] + count) {
+            return static_cast<u8>(
+                sortedSymbols_[firstSymbolIndex_[len] +
+                               (code - firstCode_[len])]);
+        }
+    }
+    cps_panic("corrupt Huffman stream");
+}
+
+} // namespace compress
+} // namespace cps

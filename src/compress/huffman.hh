@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Canonical Huffman coding over bytes.
+ *
+ * Substrate for the CCRP baseline (Wolfe & Chanin): CCRP Huffman-encodes
+ * the bytes of each I-cache line. We build a length-limited canonical
+ * code so decode tables are compact and deterministic.
+ */
+
+#ifndef CPS_COMPRESS_HUFFMAN_HH
+#define CPS_COMPRESS_HUFFMAN_HH
+
+#include <array>
+#include <vector>
+
+#include "common/bitstream.hh"
+#include "common/types.hh"
+
+namespace cps
+{
+namespace compress
+{
+
+/** A canonical Huffman code over the 256 byte values. */
+class HuffmanCode
+{
+  public:
+    static constexpr unsigned kMaxLen = 16;
+
+    /**
+     * Builds a code from byte frequencies. Symbols with zero counts get
+     * codes too (longest), so any byte remains encodable.
+     * @param counts per-byte-value occurrence counts
+     */
+    static HuffmanCode build(const std::array<u64, 256> &counts);
+
+    /** Appends the codeword for @p symbol to @p bw. */
+    void
+    encode(BitWriter &bw, u8 symbol) const
+    {
+        bw.put(code_[symbol], length_[symbol]);
+    }
+
+    /** Decodes one symbol from @p br. */
+    u8 decode(BitReader &br) const;
+
+    /** Codeword length of @p symbol in bits. */
+    unsigned length(u8 symbol) const { return length_[symbol]; }
+
+    /**
+     * Bits needed to ship the code itself (one 4-bit length per symbol,
+     * canonical reconstruction needs nothing else).
+     */
+    u64 tableBits() const { return 256 * 4; }
+
+  private:
+    std::array<u16, 256> code_{};
+    std::array<u8, 256> length_{};
+
+    // Canonical decode acceleration: for each length, the first code
+    // value and the index of its first symbol in sorted order.
+    std::array<u32, kMaxLen + 2> firstCode_{};
+    std::array<u16, kMaxLen + 2> firstSymbolIndex_{};
+    std::array<u16, 256> sortedSymbols_{};
+};
+
+} // namespace compress
+} // namespace cps
+
+#endif // CPS_COMPRESS_HUFFMAN_HH

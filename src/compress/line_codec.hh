@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Common interface for line-granular compressed-code schemes (CCRP and
+ * the Lefurgy'97 instruction dictionary), plus a fetch path that gives
+ * them the same cycle-level treatment the CodePack model gets: LAT
+ * lookup, burst fetch, serial decode with forwarding.
+ */
+
+#ifndef CPS_COMPRESS_LINE_CODEC_HH
+#define CPS_COMPRESS_LINE_CODEC_HH
+
+#include <array>
+
+#include "common/stats.hh"
+#include "mem/main_memory.hh"
+#include "pipeline/paths.hh"
+
+namespace cps
+{
+namespace compress
+{
+
+/** Where one native I-cache line lives in a compressed stream. */
+struct LineExtent
+{
+    u32 byteOffset = 0;
+    u32 byteLen = 0;
+};
+
+/** A compressed text image addressable at cache-line granularity. */
+class LineCodec
+{
+  public:
+    virtual ~LineCodec() = default;
+
+    virtual u32 numLines() const = 0;
+    virtual Addr textBase() const = 0;
+    virtual LineExtent extent(u32 line) const = 0;
+
+    /**
+     * For each of the line's 8 instructions, the absolute byte offset
+     * (into the compressed stream) of its final encoded byte: the
+     * serial decoder cannot emit an instruction before that byte
+     * arrives.
+     */
+    virtual std::array<u32, 8> insnEndBytes(u32 line) const = 0;
+
+    /** Serial-decode cost in cycles per instruction (CCRP: 4). */
+    virtual unsigned decodeCyclesPerInsn() const = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Fetch path for line-granular schemes. Miss handling: (1) LAT lookup —
+ * a single cached LAT memory line (8 entries) stands in for the LAT
+ * cache CCRP-class designs use; (2) burst read of the compressed line;
+ * (3) serial decode with instruction forwarding. No output buffer: these
+ * schemes decompress exactly the requested line.
+ */
+class LineCompressedFetchPath : public CachedFetchPath
+{
+  public:
+    LineCompressedFetchPath(const CacheConfig &icache_cfg,
+                            const LineCodec &codec, MainMemory &mem,
+                            StatSet &stats)
+        : CachedFetchPath(icache_cfg, stats), codec_(codec), mem_(mem),
+          statLatMisses_(stats.scalar("linecodec.lat_misses")),
+          statLineFills_(stats.scalar("linecodec.line_fills"))
+    {}
+
+  protected:
+    std::array<Cycle, 8>
+    fillLine(Addr addr, Cycle now) override
+    {
+        statLineFills_.inc();
+        u32 line = (addr - codec_.textBase()) / 32;
+
+        // LAT lookup: entries are 4 bytes; a hit in the cached LAT line
+        // is free (probed in parallel with the L1).
+        Cycle lat_ready = now;
+        u32 lat_line = line / 8;
+        if (lat_line != cachedLatLine_) {
+            statLatMisses_.inc();
+            BurstResult lat = mem_.burstRead(now, 32);
+            lat_ready = lat.done;
+            cachedLatLine_ = lat_line;
+        }
+
+        // Fetch the compressed line.
+        LineExtent ext = codec_.extent(line);
+        unsigned bus_bytes = mem_.timing().busBytes();
+        u32 start =
+            static_cast<u32>(roundDown(ext.byteOffset, bus_bytes));
+        u32 end = ext.byteOffset + std::max<u32>(ext.byteLen, 1);
+        BurstResult burst = mem_.burstRead(lat_ready, end - start);
+
+        // Serial decode with forwarding.
+        std::array<u32, 8> ends = codec_.insnEndBytes(line);
+        unsigned per_insn = codec_.decodeCyclesPerInsn();
+        std::array<Cycle, 8> ready{};
+        Cycle t = burst.beatArrival.front();
+        for (unsigned i = 0; i < 8; ++i) {
+            Cycle arrival =
+                burst.arrivalOfByte(ends[i] - 1 - start, bus_bytes);
+            t = std::max(t + per_insn, arrival + per_insn);
+            ready[i] = t;
+        }
+        return ready;
+    }
+
+    void resetMissPath() override { cachedLatLine_ = ~0u; }
+
+  private:
+    const LineCodec &codec_;
+    MainMemory &mem_;
+    u32 cachedLatLine_ = ~0u;
+    Counter &statLatMisses_;
+    Counter &statLineFills_;
+};
+
+} // namespace compress
+} // namespace cps
+
+#endif // CPS_COMPRESS_LINE_CODEC_HH

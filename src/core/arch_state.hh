@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Architectural state of the simulated core: 32 integer registers, 32
+ * single-precision FP registers (kept as raw bits), the FP condition
+ * flag, and the PC.
+ */
+
+#ifndef CPS_CORE_ARCH_STATE_HH
+#define CPS_CORE_ARCH_STATE_HH
+
+#include <array>
+#include <bit>
+
+#include "asmkit/program.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace cps
+{
+
+/** The complete architected register state. */
+struct ArchState
+{
+    std::array<u32, kNumGpr> gpr{};
+    std::array<u32, kNumFpr> fpr{}; ///< raw IEEE-754 single bits
+    bool fcc = false;               ///< FP condition flag
+    Addr pc = 0;
+
+    /** Reads a GPR; $zero always reads 0. */
+    u32 readGpr(unsigned r) const { return r == 0 ? 0 : gpr[r]; }
+
+    /** Writes a GPR; writes to $zero are discarded. */
+    void
+    writeGpr(unsigned r, u32 value)
+    {
+        if (r != 0)
+            gpr[r] = value;
+    }
+
+    float fprAsFloat(unsigned r) const { return std::bit_cast<float>(fpr[r]); }
+
+    void
+    writeFpr(unsigned r, float value)
+    {
+        fpr[r] = std::bit_cast<u32>(value);
+    }
+
+    /** Resets to the program's initial conditions. */
+    void
+    resetFor(const Program &prog)
+    {
+        gpr.fill(0);
+        fpr.fill(0);
+        fcc = false;
+        pc = prog.entry;
+        gpr[kRegSp] = kStackTop;
+        gpr[kRegFp] = kStackTop;
+        gpr[kRegGp] = kDataBase;
+    }
+};
+
+} // namespace cps
+
+#endif // CPS_CORE_ARCH_STATE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Pre-decoded text segment shared by the functional executor and the
+ * timing pipelines.
+ *
+ * The simulated programs never modify their own text, so every
+ * instruction is decoded and analyzed exactly once at load time. Both
+ * the executor and the pipelines index this table by PC.
+ */
+
+#ifndef CPS_CORE_DECODED_TEXT_HH
+#define CPS_CORE_DECODED_TEXT_HH
+
+#include <vector>
+
+#include "asmkit/program.hh"
+#include "common/logging.hh"
+#include "isa/isa.hh"
+
+namespace cps
+{
+
+/** Decoded and analyzed copy of a program's text segment. */
+class DecodedText
+{
+  public:
+    explicit DecodedText(const Program &prog)
+        : base_(prog.text.base)
+    {
+        size_t n = prog.textWords();
+        insts_.reserve(n);
+        infos_.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+            insts_.push_back(decode(prog.word(i)));
+            infos_.push_back(analyze(insts_.back()));
+        }
+    }
+
+    Addr base() const { return base_; }
+    Addr end() const { return base_ + static_cast<Addr>(insts_.size() * 4); }
+    size_t size() const { return insts_.size(); }
+
+    bool
+    contains(Addr pc) const
+    {
+        return pc >= base_ && pc < end() && (pc & 3) == 0;
+    }
+
+    const Inst &
+    inst(Addr pc) const
+    {
+        cps_assert(contains(pc), "instruction fetch outside text: 0x%x", pc);
+        return insts_[(pc - base_) >> 2];
+    }
+
+    const InstInfo &
+    info(Addr pc) const
+    {
+        cps_assert(contains(pc), "instruction fetch outside text: 0x%x", pc);
+        return infos_[(pc - base_) >> 2];
+    }
+
+  private:
+    Addr base_;
+    std::vector<Inst> insts_;
+    std::vector<InstInfo> infos_;
+};
+
+} // namespace cps
+
+#endif // CPS_CORE_DECODED_TEXT_HH

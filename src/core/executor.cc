@@ -1,0 +1,280 @@
+#include "executor.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace cps
+{
+
+Executor::Executor(const DecodedText &text, MainMemory &mem)
+    : text_(text), mem_(mem)
+{}
+
+void
+Executor::reset(const Program &prog)
+{
+    state_.resetFor(prog);
+    halted_ = false;
+    instCount_ = 0;
+    mix_ = MixStats{};
+    output_.clear();
+}
+
+void
+Executor::doSyscall()
+{
+    u32 code = state_.readGpr(kRegV0);
+    u32 arg = state_.readGpr(kRegA0);
+    switch (code) {
+      case 1: // print_int
+        output_ += strfmt("%d", static_cast<s32>(arg));
+        break;
+      case 4: { // print_string
+        Addr a = arg;
+        for (unsigned guard = 0; guard < 65536; ++guard) {
+            u8 c = mem_.read8(a++);
+            if (c == 0)
+                break;
+            output_ += static_cast<char>(c);
+        }
+        break;
+      }
+      case 10: // exit
+        halted_ = true;
+        break;
+      case 11: // print_char
+        output_ += static_cast<char>(arg & 0xff);
+        break;
+      default:
+        cps_warn("unknown syscall %u ignored", code);
+        break;
+    }
+}
+
+StepRecord
+Executor::step()
+{
+    cps_assert(!halted_, "step() after halt");
+
+    StepRecord rec;
+    rec.pc = state_.pc;
+    const Inst &inst = text_.inst(state_.pc);
+    const InstInfo &info = text_.info(state_.pc);
+    rec.inst = &inst;
+    rec.info = &info;
+
+    Addr next = state_.pc + 4;
+    ArchState &st = state_;
+    s32 simm = signExtend(inst.imm, 16);
+    u32 uimm = inst.imm;
+
+    auto rs = [&] { return st.readGpr(inst.rs); };
+    auto rt = [&] { return st.readGpr(inst.rt); };
+    auto wr_rd = [&](u32 v) { st.writeGpr(inst.rd, v); };
+    auto wr_rt = [&](u32 v) { st.writeGpr(inst.rt, v); };
+    auto fs = [&] { return st.fprAsFloat(inst.rd); };
+    auto ft = [&] { return st.fprAsFloat(inst.rt); };
+    auto wr_fd = [&](float v) { st.writeFpr(inst.shamt, v); };
+
+    auto branch_to = [&](bool take) {
+        rec.taken = take;
+        if (take)
+            next = state_.pc + 4 + (static_cast<u32>(simm) << 2);
+    };
+
+    auto ea = [&] {
+        Addr a = rs() + static_cast<u32>(simm);
+        rec.memAddr = a;
+        return a;
+    };
+
+    switch (inst.op) {
+      case Op::Add: case Op::Addu: wr_rd(rs() + rt()); break;
+      case Op::Sub: case Op::Subu: wr_rd(rs() - rt()); break;
+      case Op::And: wr_rd(rs() & rt()); break;
+      case Op::Or: wr_rd(rs() | rt()); break;
+      case Op::Xor: wr_rd(rs() ^ rt()); break;
+      case Op::Nor: wr_rd(~(rs() | rt())); break;
+      case Op::Slt:
+        wr_rd(static_cast<s32>(rs()) < static_cast<s32>(rt()) ? 1 : 0);
+        break;
+      case Op::Sltu: wr_rd(rs() < rt() ? 1 : 0); break;
+      case Op::Sll: wr_rd(rt() << inst.shamt); break;
+      case Op::Srl: wr_rd(rt() >> inst.shamt); break;
+      case Op::Sra:
+        wr_rd(static_cast<u32>(static_cast<s32>(rt()) >> inst.shamt));
+        break;
+      case Op::Sllv: wr_rd(rt() << (rs() & 31)); break;
+      case Op::Srlv: wr_rd(rt() >> (rs() & 31)); break;
+      case Op::Srav:
+        wr_rd(static_cast<u32>(static_cast<s32>(rt()) >> (rs() & 31)));
+        break;
+      case Op::Mul:
+        wr_rd(static_cast<u32>(static_cast<s32>(rs()) *
+                               static_cast<s32>(rt())));
+        break;
+      case Op::Mulu: wr_rd(rs() * rt()); break;
+      case Op::Div: {
+        s32 a = static_cast<s32>(rs()), b = static_cast<s32>(rt());
+        // Division by zero and INT_MIN/-1 are architecturally defined to
+        // produce 0 in this ISA (no traps).
+        bool bad = (b == 0) || (a == INT32_MIN && b == -1);
+        wr_rd(bad ? 0 : static_cast<u32>(a / b));
+        break;
+      }
+      case Op::Divu: wr_rd(rt() == 0 ? 0 : rs() / rt()); break;
+      case Op::Rem: {
+        s32 a = static_cast<s32>(rs()), b = static_cast<s32>(rt());
+        bool bad = (b == 0) || (a == INT32_MIN && b == -1);
+        wr_rd(bad ? 0 : static_cast<u32>(a % b));
+        break;
+      }
+      case Op::Remu: wr_rd(rt() == 0 ? 0 : rs() % rt()); break;
+
+      case Op::Addi: case Op::Addiu:
+        wr_rt(rs() + static_cast<u32>(simm));
+        break;
+      case Op::Slti:
+        wr_rt(static_cast<s32>(rs()) < simm ? 1 : 0);
+        break;
+      case Op::Sltiu:
+        wr_rt(rs() < static_cast<u32>(simm) ? 1 : 0);
+        break;
+      case Op::Andi: wr_rt(rs() & uimm); break;
+      case Op::Ori: wr_rt(rs() | uimm); break;
+      case Op::Xori: wr_rt(rs() ^ uimm); break;
+      case Op::Lui: wr_rt(uimm << 16); break;
+
+      case Op::Lb:
+        wr_rt(static_cast<u32>(signExtend(mem_.read8(ea()), 8)));
+        break;
+      case Op::Lbu: wr_rt(mem_.read8(ea())); break;
+      case Op::Lh: {
+        Addr a = ea();
+        cps_assert((a & 1) == 0, "unaligned lh at 0x%x", a);
+        wr_rt(static_cast<u32>(signExtend(mem_.read16(a), 16)));
+        break;
+      }
+      case Op::Lhu: {
+        Addr a = ea();
+        cps_assert((a & 1) == 0, "unaligned lhu at 0x%x", a);
+        wr_rt(mem_.read16(a));
+        break;
+      }
+      case Op::Lw: {
+        Addr a = ea();
+        cps_assert((a & 3) == 0, "unaligned lw at 0x%x", a);
+        wr_rt(mem_.read32(a));
+        break;
+      }
+      case Op::Lwc1: {
+        Addr a = ea();
+        cps_assert((a & 3) == 0, "unaligned lwc1 at 0x%x", a);
+        st.fpr[inst.rt] = mem_.read32(a);
+        break;
+      }
+      case Op::Sb: mem_.write8(ea(), static_cast<u8>(rt())); break;
+      case Op::Sh: {
+        Addr a = ea();
+        cps_assert((a & 1) == 0, "unaligned sh at 0x%x", a);
+        mem_.write16(a, static_cast<u16>(rt()));
+        break;
+      }
+      case Op::Sw: {
+        Addr a = ea();
+        cps_assert((a & 3) == 0, "unaligned sw at 0x%x", a);
+        mem_.write32(a, rt());
+        break;
+      }
+      case Op::Swc1: {
+        Addr a = ea();
+        cps_assert((a & 3) == 0, "unaligned swc1 at 0x%x", a);
+        mem_.write32(a, st.fpr[inst.rt]);
+        break;
+      }
+
+      case Op::J:
+        rec.taken = true;
+        next = (state_.pc & 0xf0000000u) | (inst.target << 2);
+        break;
+      case Op::Jal:
+        rec.taken = true;
+        st.writeGpr(kRegRa, state_.pc + 4);
+        next = (state_.pc & 0xf0000000u) | (inst.target << 2);
+        break;
+      case Op::Jr:
+        rec.taken = true;
+        next = rs();
+        break;
+      case Op::Jalr: {
+        rec.taken = true;
+        Addr target = rs();
+        st.writeGpr(inst.rd, state_.pc + 4);
+        next = target;
+        break;
+      }
+
+      case Op::Beq: branch_to(rs() == rt()); break;
+      case Op::Bne: branch_to(rs() != rt()); break;
+      case Op::Blez: branch_to(static_cast<s32>(rs()) <= 0); break;
+      case Op::Bgtz: branch_to(static_cast<s32>(rs()) > 0); break;
+      case Op::Bltz: branch_to(static_cast<s32>(rs()) < 0); break;
+      case Op::Bgez: branch_to(static_cast<s32>(rs()) >= 0); break;
+      case Op::Bc1t: branch_to(st.fcc); break;
+      case Op::Bc1f: branch_to(!st.fcc); break;
+
+      case Op::AddS: wr_fd(fs() + ft()); break;
+      case Op::SubS: wr_fd(fs() - ft()); break;
+      case Op::MulS: wr_fd(fs() * ft()); break;
+      case Op::DivS: wr_fd(ft() == 0.0f ? 0.0f : fs() / ft()); break;
+      case Op::AbsS: wr_fd(std::fabs(fs())); break;
+      case Op::NegS: wr_fd(-fs()); break;
+      case Op::MovS: wr_fd(fs()); break;
+      case Op::CvtSW:
+        wr_fd(static_cast<float>(static_cast<s32>(st.fpr[inst.rd])));
+        break;
+      case Op::CvtWS: {
+        float v = fs();
+        // Saturate out-of-range conversions instead of UB.
+        s32 out;
+        if (std::isnan(v))
+            out = 0;
+        else if (v >= 2147483647.0f)
+            out = INT32_MAX;
+        else if (v <= -2147483648.0f)
+            out = INT32_MIN;
+        else
+            out = static_cast<s32>(v);
+        st.fpr[inst.shamt] = static_cast<u32>(out);
+        break;
+      }
+      case Op::CEqS: st.fcc = fs() == ft(); break;
+      case Op::CLtS: st.fcc = fs() < ft(); break;
+      case Op::CLeS: st.fcc = fs() <= ft(); break;
+      case Op::Mtc1: st.fpr[inst.rd] = rt(); break;
+      case Op::Mfc1: wr_rt(st.fpr[inst.rd]); break;
+
+      case Op::Syscall:
+        doSyscall();
+        break;
+      case Op::Break:
+        halted_ = true;
+        break;
+
+      case Op::Invalid:
+      case Op::kNumOps:
+        cps_fatal("executed invalid instruction 0x%08x at pc 0x%x",
+                  inst.raw, state_.pc);
+    }
+
+    state_.pc = next;
+    rec.nextPc = next;
+    rec.halted = halted_;
+    ++instCount_;
+    ++mix_[info.cls];
+    return rec;
+}
+
+} // namespace cps

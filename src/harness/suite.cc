@@ -1,0 +1,68 @@
+#include "suite.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace cps
+{
+
+Suite::Suite()
+{
+    for (const BenchmarkProfile &p : standardProfiles())
+        names_.push_back(p.name);
+}
+
+Suite &
+Suite::instance()
+{
+    static Suite suite;
+    return suite;
+}
+
+const BenchProgram &
+Suite::get(const std::string &name)
+{
+    auto it = cache_.find(name);
+    if (it != cache_.end())
+        return *it->second;
+
+    auto bench = std::make_unique<BenchProgram>();
+    bench->profile = &findProfile(name);
+    bench->program = generateProgram(*bench->profile);
+    bench->image = codepack::compress(bench->program);
+    const BenchProgram &ref = *bench;
+    cache_.emplace(name, std::move(bench));
+    return ref;
+}
+
+u64
+Suite::runInsns()
+{
+    if (const char *env = std::getenv("CPS_INSNS")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return v;
+        cps_warn("ignoring malformed CPS_INSNS='%s'", env);
+    }
+    return 1000000;
+}
+
+RunOutcome
+runMachine(const BenchProgram &bench, const MachineConfig &cfg,
+           u64 max_insns)
+{
+    Machine machine(bench.program, cfg,
+                    cfg.codeModel == CodeModel::Native ? nullptr
+                                                       : &bench.image);
+    RunOutcome out;
+    out.result = machine.run(max_insns);
+    out.icacheMissRate = machine.icacheMissRate();
+    out.indexCacheMissRate = machine.indexCacheMissRate();
+    out.icacheMisses = machine.stats().value("icache.misses");
+    out.bufferHits = machine.stats().value("decomp.buffer_hits");
+    return out;
+}
+
+} // namespace cps

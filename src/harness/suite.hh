@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment harness shared by every benchmark binary: generates and
+ * compresses each synthetic benchmark once per process, runs machines,
+ * and computes the speedup numbers the paper's tables report.
+ */
+
+#ifndef CPS_HARNESS_SUITE_HH
+#define CPS_HARNESS_SUITE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace cps
+{
+
+/** A generated benchmark with its compressed image. */
+struct BenchProgram
+{
+    const BenchmarkProfile *profile = nullptr;
+    Program program;
+    codepack::CompressedImage image;
+};
+
+/** Process-wide cache of generated benchmarks. */
+class Suite
+{
+  public:
+    static Suite &instance();
+
+    /** The six paper benchmarks, in Table 1 order. */
+    const std::vector<std::string> &names() const { return names_; }
+
+    /** Generates (once) and returns a benchmark by name. */
+    const BenchProgram &get(const std::string &name);
+
+    /**
+     * Dynamic instructions per timing run. Defaults to 1,000,000;
+     * override with the CPS_INSNS environment variable. (The paper ran
+     * >1e9 instructions; our synthetic workloads reach steady state
+     * within well under 1e6 — see DESIGN.md "Substitutions".)
+     */
+    static u64 runInsns();
+
+  private:
+    Suite();
+
+    std::vector<std::string> names_;
+    std::map<std::string, std::unique_ptr<BenchProgram>> cache_;
+};
+
+/** Everything a table needs from one timed run. */
+struct RunOutcome
+{
+    RunResult result;
+    double icacheMissRate = 0.0;
+    double indexCacheMissRate = 0.0;
+    u64 icacheMisses = 0;
+    u64 bufferHits = 0;
+};
+
+/** Builds a machine for @p bench under @p cfg and runs it. */
+RunOutcome runMachine(const BenchProgram &bench, const MachineConfig &cfg,
+                      u64 max_insns);
+
+/** Convenience: cycles(native) / cycles(model) on identical inputs. */
+inline double
+speedup(const RunOutcome &native, const RunOutcome &other)
+{
+    if (other.result.cycles == 0)
+        return 0.0;
+    return static_cast<double>(native.result.cycles) /
+           static_cast<double>(other.result.cycles);
+}
+
+} // namespace cps
+
+#endif // CPS_HARNESS_SUITE_HH

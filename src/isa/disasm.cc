@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Instruction-to-text rendering. Kept in its own translation unit so the
+ * hot simulation paths never pull in string formatting.
+ */
+
+#include <string>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "isa.hh"
+
+namespace cps
+{
+
+namespace
+{
+
+std::string
+fpName(unsigned index)
+{
+    return strfmt("$f%u", index);
+}
+
+/** Branch destination: PC + 4 + (imm << 2), MIPS style. */
+Addr
+branchTarget(Addr pc, u16 imm)
+{
+    return pc + 4 + (static_cast<u32>(signExtend(imm, 16)) << 2);
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst, Addr pc)
+{
+    const char *m = mnemonic(inst.op);
+    s32 simm = signExtend(inst.imm, 16);
+
+    if (inst.raw == kNopWord)
+        return "nop";
+
+    switch (inst.op) {
+      case Op::Add: case Op::Addu: case Op::Sub: case Op::Subu:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+      case Op::Slt: case Op::Sltu: case Op::Sllv: case Op::Srlv:
+      case Op::Srav: case Op::Mul: case Op::Mulu: case Op::Div:
+      case Op::Divu: case Op::Rem: case Op::Remu:
+        return strfmt("%s %s, %s, %s", m, gprName(inst.rd),
+                      gprName(inst.rs), gprName(inst.rt));
+      case Op::Sll: case Op::Srl: case Op::Sra:
+        return strfmt("%s %s, %s, %u", m, gprName(inst.rd),
+                      gprName(inst.rt), inst.shamt);
+      case Op::Addi: case Op::Addiu: case Op::Slti: case Op::Sltiu:
+        return strfmt("%s %s, %s, %d", m, gprName(inst.rt),
+                      gprName(inst.rs), simm);
+      case Op::Andi: case Op::Ori: case Op::Xori:
+        return strfmt("%s %s, %s, 0x%x", m, gprName(inst.rt),
+                      gprName(inst.rs), inst.imm);
+      case Op::Lui:
+        return strfmt("%s %s, 0x%x", m, gprName(inst.rt), inst.imm);
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
+      case Op::Sb: case Op::Sh: case Op::Sw:
+        return strfmt("%s %s, %d(%s)", m, gprName(inst.rt), simm,
+                      gprName(inst.rs));
+      case Op::Lwc1: case Op::Swc1:
+        return strfmt("%s %s, %d(%s)", m, fpName(inst.rt).c_str(), simm,
+                      gprName(inst.rs));
+      case Op::J: case Op::Jal:
+        return strfmt("%s 0x%x", m, inst.target << 2);
+      case Op::Jr:
+        return strfmt("%s %s", m, gprName(inst.rs));
+      case Op::Jalr:
+        return strfmt("%s %s, %s", m, gprName(inst.rd), gprName(inst.rs));
+      case Op::Beq: case Op::Bne:
+        return strfmt("%s %s, %s, 0x%x", m, gprName(inst.rs),
+                      gprName(inst.rt), branchTarget(pc, inst.imm));
+      case Op::Blez: case Op::Bgtz: case Op::Bltz: case Op::Bgez:
+        return strfmt("%s %s, 0x%x", m, gprName(inst.rs),
+                      branchTarget(pc, inst.imm));
+      case Op::Bc1t: case Op::Bc1f:
+        return strfmt("%s 0x%x", m, branchTarget(pc, inst.imm));
+      case Op::AddS: case Op::SubS: case Op::MulS: case Op::DivS:
+        return strfmt("%s %s, %s, %s", m, fpName(inst.shamt).c_str(),
+                      fpName(inst.rd).c_str(), fpName(inst.rt).c_str());
+      case Op::AbsS: case Op::NegS: case Op::MovS: case Op::CvtSW:
+      case Op::CvtWS:
+        return strfmt("%s %s, %s", m, fpName(inst.shamt).c_str(),
+                      fpName(inst.rd).c_str());
+      case Op::CEqS: case Op::CLtS: case Op::CLeS:
+        return strfmt("%s %s, %s", m, fpName(inst.rd).c_str(),
+                      fpName(inst.rt).c_str());
+      case Op::Mtc1:
+        return strfmt("%s %s, %s", m, gprName(inst.rt),
+                      fpName(inst.rd).c_str());
+      case Op::Mfc1:
+        return strfmt("%s %s, %s", m, gprName(inst.rt),
+                      fpName(inst.rd).c_str());
+      case Op::Syscall: case Op::Break:
+        return m;
+      case Op::Invalid:
+      case Op::kNumOps:
+        break;
+    }
+    return strfmt(".word 0x%08x", inst.raw);
+}
+
+std::string
+disassemble(u32 word, Addr pc)
+{
+    return disassemble(decode(word), pc);
+}
+
+} // namespace cps

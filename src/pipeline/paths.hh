@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Instruction-fetch and data-access paths shared by both pipeline models.
+ *
+ * The timing simulator is organised around two port abstractions:
+ *
+ *  - FetchPath: given (PC, cycle), returns the cycle at which that
+ *    instruction word is available to the fetch stage. The native
+ *    implementation burst-fills I-cache lines critical-word-first; the
+ *    CodePack implementation (sim module) routes misses through the
+ *    decompressor model, which has no critical-word-first (decode is
+ *    serial) but prefetches whole 16-instruction blocks.
+ *
+ *  - DataPath: D-cache with write-back/write-allocate backed by the same
+ *    main-memory channel, so data misses and instruction misses contend.
+ */
+
+#ifndef CPS_PIPELINE_PATHS_HH
+#define CPS_PIPELINE_PATHS_HH
+
+#include <array>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "mem/main_memory.hh"
+
+namespace cps
+{
+
+/** Abstract instruction-fetch port. */
+class FetchPath
+{
+  public:
+    virtual ~FetchPath() = default;
+
+    /**
+     * Requests the instruction word at @p addr at cycle @p now.
+     * @return the cycle the word is available (>= now)
+     */
+    virtual Cycle fetchWord(Addr addr, Cycle now) = 0;
+
+    /** Clears cache/fill state between runs. */
+    virtual void reset() = 0;
+};
+
+/**
+ * Tracks the in-flight line fill so that fetches into a line that is
+ * still arriving see per-word availability (critical word first for
+ * native code; decode order for CodePack).
+ */
+class LineFillTracker
+{
+  public:
+    static constexpr unsigned kWords = 8;
+    /** Outstanding fills tracked (demand fill + one prefetch). */
+    static constexpr unsigned kEntries = 2;
+
+    void
+    record(Addr line_addr, const std::array<Cycle, kWords> &ready)
+    {
+        Entry &e = entries_[next_];
+        next_ = (next_ + 1) % kEntries;
+        e.valid = true;
+        e.lineAddr = line_addr;
+        e.ready = ready;
+    }
+
+    /** @return word availability if @p addr falls in a tracked line */
+    bool
+    lookup(Addr addr, Cycle &ready) const
+    {
+        for (const Entry &e : entries_) {
+            if (e.valid && (addr & ~31u) == e.lineAddr) {
+                ready = e.ready[(addr >> 2) & 7];
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    clear()
+    {
+        for (Entry &e : entries_)
+            e.valid = false;
+        next_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+        std::array<Cycle, kWords> ready{};
+    };
+
+    Entry entries_[kEntries];
+    unsigned next_ = 0;
+};
+
+/**
+ * Common machinery for I-cache-fronted fetch paths: per-line access/miss
+ * accounting (consecutive fetches into the same line count as one cache
+ * access, as in SimpleScalar) and per-word availability for lines that
+ * are still arriving. Subclasses supply the miss handler.
+ */
+class CachedFetchPath : public FetchPath
+{
+  public:
+    CachedFetchPath(const CacheConfig &icache_cfg, StatSet &stats)
+        : icache_(icache_cfg),
+          statAccesses_(stats.scalar("icache.line_accesses")),
+          statMisses_(stats.scalar("icache.misses")),
+          statMissLatency_(stats.scalar("icache.miss_latency_total"))
+    {
+        cps_assert(icache_cfg.lineBytes == 32,
+                   "the fetch paths model 32-byte I-cache lines");
+    }
+
+    Cycle
+    fetchWord(Addr addr, Cycle now) override
+    {
+        Addr line = icache_.lineAddr(addr);
+        if (line != lastLine_) {
+            lastLine_ = line;
+            statAccesses_.inc();
+            if (!icache_.access(addr)) {
+                statMisses_.inc();
+                icache_.fill(addr); // I-cache lines are never dirty
+                fill_.record(line, fillLine(addr, now));
+                // Critical-word latency of this miss (Figure 2 metric).
+                Cycle ready;
+                if (fill_.lookup(addr, ready) && ready > now)
+                    statMissLatency_.inc(ready - now);
+            }
+        }
+        Cycle ready;
+        if (fill_.lookup(addr, ready))
+            return std::max(now, ready);
+        return now;
+    }
+
+    void
+    reset() override
+    {
+        icache_.invalidateAll();
+        fill_.clear();
+        lastLine_ = kAddrInvalid;
+        resetMissPath();
+    }
+
+    Cache &icache() { return icache_; }
+
+  protected:
+    /** Services a miss; returns per-word availability of the line. */
+    virtual std::array<Cycle, 8> fillLine(Addr addr, Cycle now) = 0;
+
+    /** Clears subclass miss-path state. */
+    virtual void resetMissPath() {}
+
+    /** Registers word-availability for a line a subclass fills on the
+     *  side (e.g. a prefetch). */
+    void
+    recordExtraFill(Addr line_addr, const std::array<Cycle, 8> &ready)
+    {
+        fill_.record(line_addr, ready);
+    }
+
+  private:
+    Cache icache_;
+    LineFillTracker fill_;
+    Addr lastLine_ = kAddrInvalid; // dedup per-line access stats
+    Counter &statAccesses_;
+    Counter &statMisses_;
+    Counter &statMissLatency_;
+};
+
+/**
+ * Native-code fetch path: I-cache backed by burst reads with
+ * critical-word-first delivery (the paper gives native code exactly this
+ * advantage, Figure 2-a).
+ */
+class NativeFetchPath : public CachedFetchPath
+{
+  public:
+    NativeFetchPath(const CacheConfig &icache_cfg, MainMemory &mem,
+                    StatSet &stats)
+        : CachedFetchPath(icache_cfg, stats), mem_(mem)
+    {}
+
+  protected:
+    std::array<Cycle, 8>
+    fillLine(Addr addr, Cycle now) override
+    {
+        unsigned bus_bytes = mem_.timing().busBytes();
+        BurstResult r = mem_.burstRead(now, 32);
+
+        // Critical word first: delivery starts at the requested word and
+        // wraps around the line.
+        unsigned critical = (addr >> 2) & 7;
+        std::array<Cycle, 8> ready{};
+        for (unsigned j = 0; j < 8; ++j) {
+            unsigned word = (critical + j) & 7;
+            unsigned end_byte = (j + 1) * 4 - 1;
+            ready[word] = r.arrivalOfByte(end_byte, bus_bytes);
+        }
+        return ready;
+    }
+
+  private:
+    MainMemory &mem_;
+};
+
+/**
+ * Native fetch path with a sequential next-line prefetcher.
+ *
+ * An extension experiment: the paper attributes part of CodePack's
+ * speedup to the decompressor's implicit prefetch ("CodePack implements
+ * prefetching behavior that the underlying processor does not have").
+ * This path gives *native* code an equivalent: on a miss it fills the
+ * requested line and also fetches the next line into the cache, so the
+ * comparison isolates compression's bandwidth effect from prefetching.
+ */
+class NativePrefetchFetchPath : public CachedFetchPath
+{
+  public:
+    NativePrefetchFetchPath(const CacheConfig &icache_cfg, MainMemory &mem,
+                            StatSet &stats)
+        : CachedFetchPath(icache_cfg, stats), mem_(mem),
+          statPrefetches_(stats.scalar("icache.prefetches"))
+    {}
+
+  protected:
+    std::array<Cycle, 8>
+    fillLine(Addr addr, Cycle now) override
+    {
+        unsigned bus_bytes = mem_.timing().busBytes();
+        BurstResult r = mem_.burstRead(now, 32);
+        unsigned critical = (addr >> 2) & 7;
+        std::array<Cycle, 8> ready{};
+        for (unsigned j = 0; j < 8; ++j) {
+            unsigned word = (critical + j) & 7;
+            unsigned end_byte = (j + 1) * 4 - 1;
+            ready[word] = r.arrivalOfByte(end_byte, bus_bytes);
+        }
+
+        // Prefetch the next line into the cache (if absent). The burst
+        // queues behind the demand fill on the shared channel.
+        Addr next = icache().lineAddr(addr) + 32;
+        if (!icache().probe(next)) {
+            statPrefetches_.inc();
+            icache().fill(next);
+            BurstResult p = mem_.burstRead(r.done, 32);
+            std::array<Cycle, 8> pready{};
+            for (unsigned w = 0; w < 8; ++w)
+                pready[w] = p.arrivalOfByte((w + 1) * 4 - 1, bus_bytes);
+            recordExtraFill(next, pready);
+        }
+        return ready;
+    }
+
+  private:
+    MainMemory &mem_;
+    Counter &statPrefetches_;
+};
+
+/**
+ * Simulates fetch down the wrong path between a misprediction and its
+ * resolution. The fetched words are never executed; what matters is the
+ * timing side effects, which the paper's simulator (sim-outorder) also
+ * has: wrong-path I-cache fills occupy the memory channel, pollute the
+ * I-cache, and — under CodePack — replace the decompressor's output
+ * buffer and index-cache contents.
+ *
+ * Wrong-path control flow is approximated as straight-line fetch from
+ * @p start (we cannot execute the wrong path to follow its branches).
+ */
+inline void
+simulateWrongPath(FetchPath &fetch, Addr start, Addr text_base,
+                  Addr text_end, Cycle from, Cycle until, unsigned width)
+{
+    if (start == kAddrInvalid)
+        return;
+    Addr pc = start;
+    Cycle t = from;
+    while (t < until && pc >= text_base && pc + 4 <= text_end) {
+        bool stalled = false;
+        for (unsigned w = 0; w < width && pc + 4 <= text_end; ++w) {
+            Cycle avail = fetch.fetchWord(pc, t);
+            if (avail > t) {
+                // Stalled on a wrong-path miss; the fill (and its
+                // pollution) happens regardless of the squash.
+                t = avail;
+                stalled = true;
+                break;
+            }
+            pc += 4;
+        }
+        if (!stalled)
+            ++t;
+    }
+}
+
+/** D-cache with write-back + write-allocate over the shared channel. */
+class DataPath
+{
+  public:
+    DataPath(const CacheConfig &dcache_cfg, MainMemory &mem, StatSet &stats)
+        : dcache_(dcache_cfg), mem_(mem),
+          statAccesses_(stats.scalar("dcache.accesses")),
+          statMisses_(stats.scalar("dcache.misses")),
+          statWritebacks_(stats.scalar("dcache.writebacks"))
+    {}
+
+    /**
+     * Performs a timed D-cache access.
+     * @param is_store stores allocate and dirty the line but never stall
+     *        the requester (write-buffer semantics); the returned cycle
+     *        for stores is when the cache accepted the store
+     * @return cycle the data is available (loads) / accepted (stores)
+     */
+    Cycle
+    access(Addr addr, bool is_store, Cycle now)
+    {
+        statAccesses_.inc();
+        Cycle ready = now + 1; // cache hit latency
+        if (!dcache_.access(addr)) {
+            statMisses_.inc();
+            CacheVictim victim = dcache_.fill(addr);
+            BurstResult r = mem_.burstRead(now, dcache_.config().lineBytes);
+            if (victim.valid && victim.dirty) {
+                statWritebacks_.inc();
+                mem_.burstWrite(r.done, dcache_.config().lineBytes);
+            }
+            if (!is_store)
+                ready = r.done + 1;
+        }
+        if (is_store)
+            dcache_.setDirty(addr);
+        return ready;
+    }
+
+    void reset() { dcache_.invalidateAll(); }
+
+    Cache &dcache() { return dcache_; }
+
+  private:
+    Cache dcache_;
+    MainMemory &mem_;
+    Counter &statAccesses_;
+    Counter &statMisses_;
+    Counter &statWritebacks_;
+};
+
+} // namespace cps
+
+#endif // CPS_PIPELINE_PATHS_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Synthetic benchmark generator: the stand-in for SPEC CINT95 and
+ * MediaBench (see DESIGN.md "Substitutions").
+ *
+ * Each profile generates a real, executable program in the simulated ISA:
+ * a driver loop that uses an in-program LCG to call functions from a
+ * pool, where each function is a loop over straight-line chunks of
+ * realistic compiled code (ALU work, loads/stores to global arrays and
+ * the stack, data-dependent branch diamonds, occasional FP kernels and
+ * calls to leaf helpers).
+ *
+ * The knobs that matter to the paper's experiments:
+ *   - the *static* text size and halfword value distribution control the
+ *     CodePack compression ratio (Tables 3/4);
+ *   - the ratio of hot code working set to I-cache size and the
+ *     per-call inner-loop reuse control the I-cache miss rate (Table 1),
+ *     which in turn drives every performance experiment (Tables 5-12).
+ *
+ * Profiles are calibrated so that, on the paper's 4-issue/16KB baseline,
+ * miss rates land near the published Table 1 values: cc1 and go around
+ * 6-7%, perl and vortex around 4-5%, mpeg2enc and pegwit near zero.
+ */
+
+#ifndef CPS_PROGEN_PROGEN_HH
+#define CPS_PROGEN_PROGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "asmkit/program.hh"
+
+namespace cps
+{
+
+/** Tuning parameters for one synthetic benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    u32 numFuncs = 64;      ///< functions in the pool (text size knob)
+    u32 hotFuncs = 64;      ///< power of 2; only these are ever called
+    u32 blocksPerFunc = 12; ///< chunks per function body
+    u32 chunkInsns = 24;    ///< approximate instructions per chunk
+    u32 innerTrips = 8;     ///< function-body loop trips per call
+    u32 callsPerIter = 8;   ///< pool calls per driver iteration
+    u32 numHelpers = 8;     ///< shared leaf functions
+    u32 helperCallPercent = 20; ///< chance a chunk calls a helper
+    /**
+     * Second-tier leaf functions ("subs"): cold mid-size routines called
+     * from chunk bodies. Each call is an excursion to a distant text
+     * address between two adjacent-line misses of the caller, which is
+     * what real call-heavy code (cc1, vortex) does to the decompressor's
+     * output buffer and to index-table locality.
+     */
+    u32 numSubs = 0;
+    u32 subInsns = 64;      ///< approximate size of one sub
+    u32 subCallPercent = 0; ///< chance a chunk calls a sub
+    u32 fpPercent = 0;      ///< chance a chunk is an FP kernel
+    u32 oddConstPercent = 10; ///< chance of a unique 16-bit constant
+    /**
+     * Chance that a chunk is guarded by a data-dependent forward branch
+     * that skips it entirely. Skips scatter the I-miss stream the way
+     * real control-oriented code (cc1, go) does: misses land mid-block,
+     * fewer line pairs are covered by the decompressor's output buffer,
+     * and index-table locality drops.
+     */
+    u32 skipPercent = 0;
+    u32 dataArrays = 64;    ///< shared global arrays
+    u32 dataArrayBytes = 4096;
+    u64 seed = 1;
+};
+
+/**
+ * The paper's six benchmarks (Table 1), as calibrated profiles:
+ * cc1, go, mpeg2enc, pegwit, perl, vortex.
+ */
+const std::vector<BenchmarkProfile> &standardProfiles();
+
+/** Looks a standard profile up by name; fatal when unknown. */
+const BenchmarkProfile &findProfile(const std::string &name);
+
+/** Generates the assembly source for @p profile. */
+std::string generateSource(const BenchmarkProfile &profile);
+
+/** Generates and assembles @p profile into a loadable program. */
+Program generateProgram(const BenchmarkProfile &profile);
+
+} // namespace cps
+
+#endif // CPS_PROGEN_PROGEN_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The CodePack instruction-fetch path: an I-cache whose misses are
+ * serviced by the cycle-level decompressor model instead of a plain
+ * burst read. There is no critical-word-first (decode is serial), but
+ * the decompressor's 16-instruction output buffer acts as a prefetch of
+ * the block's other cache line (paper §3.2).
+ */
+
+#ifndef CPS_SIM_CODEPACK_FETCH_HH
+#define CPS_SIM_CODEPACK_FETCH_HH
+
+#include "codepack/timing.hh"
+#include "pipeline/paths.hh"
+
+namespace cps
+{
+
+/** Fetch path whose miss handler is the CodePack decompressor. */
+class CodePackFetchPath : public CachedFetchPath
+{
+  public:
+    CodePackFetchPath(const CacheConfig &icache_cfg,
+                      const codepack::CompressedImage &img, MainMemory &mem,
+                      const codepack::DecompressorConfig &dcfg,
+                      StatSet &stats)
+        : CachedFetchPath(icache_cfg, stats),
+          model_(img, mem, dcfg, stats)
+    {}
+
+    codepack::DecompressorModel &model() { return model_; }
+
+  protected:
+    std::array<Cycle, 8>
+    fillLine(Addr addr, Cycle now) override
+    {
+        codepack::LineFill fill = model_.handleMiss(addr & ~31u, now);
+        return fill.wordReady;
+    }
+
+    void resetMissPath() override { model_.reset(); }
+
+  private:
+    codepack::DecompressorModel model_;
+};
+
+} // namespace cps
+
+#endif // CPS_SIM_CODEPACK_FETCH_HH

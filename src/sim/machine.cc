@@ -1,0 +1,136 @@
+#include "machine.hh"
+
+#include "codepack_fetch.hh"
+#include "common/logging.hh"
+
+namespace cps
+{
+
+MachineConfig
+baseline1Issue()
+{
+    MachineConfig cfg;
+    cfg.name = "1-issue";
+    cfg.pipeline.inOrder = true;
+    cfg.pipeline.width = 1;
+    cfg.pipeline.fetchQueue = 4;
+    cfg.pipeline.ruuSize = 8;
+    cfg.pipeline.lsqSize = 4;
+    cfg.pipeline.numAlu = 1;
+    cfg.pipeline.numMult = 1;
+    cfg.pipeline.numMemPorts = 1;
+    cfg.pipeline.numFpAlu = 1;
+    cfg.pipeline.numFpMult = 1;
+    cfg.pipeline.predictor = PredictorKind::Bimodal2k;
+    cfg.icache = CacheConfig{8 * 1024, 32, 2};
+    cfg.dcache = CacheConfig{8 * 1024, 16, 2};
+    return cfg;
+}
+
+MachineConfig
+baseline4Issue()
+{
+    MachineConfig cfg;
+    cfg.name = "4-issue";
+    cfg.pipeline.inOrder = false;
+    cfg.pipeline.width = 4;
+    cfg.pipeline.fetchQueue = 8;
+    cfg.pipeline.ruuSize = 64;
+    cfg.pipeline.lsqSize = 32;
+    cfg.pipeline.numAlu = 4;
+    cfg.pipeline.numMult = 1;
+    cfg.pipeline.numMemPorts = 2;
+    cfg.pipeline.numFpAlu = 4;
+    cfg.pipeline.numFpMult = 1;
+    cfg.pipeline.predictor = PredictorKind::Gshare14;
+    cfg.icache = CacheConfig{16 * 1024, 32, 2};
+    cfg.dcache = CacheConfig{16 * 1024, 16, 2};
+    return cfg;
+}
+
+MachineConfig
+baseline8Issue()
+{
+    MachineConfig cfg;
+    cfg.name = "8-issue";
+    cfg.pipeline.inOrder = false;
+    cfg.pipeline.width = 8;
+    cfg.pipeline.fetchQueue = 16;
+    cfg.pipeline.ruuSize = 128;
+    cfg.pipeline.lsqSize = 64;
+    cfg.pipeline.numAlu = 8;
+    cfg.pipeline.numMult = 1;
+    cfg.pipeline.numMemPorts = 2;
+    cfg.pipeline.numFpAlu = 8;
+    cfg.pipeline.numFpMult = 1;
+    cfg.pipeline.predictor = PredictorKind::Hybrid1k;
+    cfg.icache = CacheConfig{32 * 1024, 32, 2};
+    cfg.dcache = CacheConfig{32 * 1024, 16, 2};
+    return cfg;
+}
+
+Machine::Machine(const Program &prog, const MachineConfig &cfg,
+                 const codepack::CompressedImage *img)
+    : cfg_(cfg), prog_(prog), mem_(cfg.mem), text_(prog),
+      exec_(text_, mem_), data_(cfg.dcache, mem_, stats_)
+{
+    mem_.loadSegment(prog.text);
+    mem_.loadSegment(prog.data);
+    exec_.reset(prog);
+
+    if (cfg.codeModel == CodeModel::Native) {
+        fetch_ = std::make_unique<NativeFetchPath>(cfg.icache, mem_, stats_);
+    } else if (cfg.codeModel == CodeModel::NativePrefetch) {
+        fetch_ = std::make_unique<NativePrefetchFetchPath>(cfg.icache,
+                                                           mem_, stats_);
+    } else {
+        cps_assert(img != nullptr,
+                   "CodePack code models need a compressed image");
+        if (cfg.codeModel == CodeModel::CodePackSoftware) {
+            fetch_ = std::make_unique<SoftwareCodePackFetchPath>(
+                cfg.icache, *img, mem_, cfg.software, stats_);
+        } else {
+            codepack::DecompressorConfig dcfg;
+            switch (cfg.codeModel) {
+              case CodeModel::CodePack:
+                dcfg = codepack::DecompressorConfig{};
+                break;
+              case CodeModel::CodePackOptimized:
+                dcfg = codepack::DecompressorConfig::optimized();
+                break;
+              case CodeModel::CodePackCustom:
+                dcfg = cfg.decomp;
+                break;
+              default:
+                cps_panic("unreachable code model");
+            }
+            fetch_ = std::make_unique<CodePackFetchPath>(
+                cfg.icache, *img, mem_, dcfg, stats_);
+        }
+    }
+
+    if (cfg.pipeline.inOrder) {
+        inorder_ = std::make_unique<InOrderPipeline>(cfg.pipeline, exec_,
+                                                     *fetch_, data_, stats_);
+    } else {
+        ooo_ = std::make_unique<OoOPipeline>(cfg.pipeline, exec_, *fetch_,
+                                             data_, stats_);
+    }
+}
+
+RunResult
+Machine::run(u64 max_insns)
+{
+    if (inorder_)
+        return inorder_->run(max_insns);
+    return ooo_->run(max_insns);
+}
+
+codepack::DecompressorModel *
+Machine::decompressor()
+{
+    auto *cp = dynamic_cast<CodePackFetchPath *>(fetch_.get());
+    return cp ? &cp->model() : nullptr;
+}
+
+} // namespace cps

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace cps
+{
+namespace
+{
+
+TEST(BitOps, BitsOfExtractsField)
+{
+    EXPECT_EQ(bitsOf(0xdeadbeef, 0, 4), 0xfu);
+    EXPECT_EQ(bitsOf(0xdeadbeef, 4, 4), 0xeu);
+    EXPECT_EQ(bitsOf(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bitsOf(0xffffffff, 0, 32), 0xffffffffu);
+    EXPECT_EQ(bitsOf(0x80000000, 31, 1), 1u);
+}
+
+TEST(BitOps, BitsOfZeroWidthIsZero)
+{
+    EXPECT_EQ(bitsOf(0xffffffff, 5, 0), 0u);
+}
+
+TEST(BitOps, InsertBitsPlacesField)
+{
+    EXPECT_EQ(insertBits(0, 0, 4, 0xf), 0xfu);
+    EXPECT_EQ(insertBits(0, 28, 4, 0xf), 0xf0000000u);
+    EXPECT_EQ(insertBits(0xffffffff, 8, 8, 0), 0xffff00ffu);
+    // Field wider than width is masked.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x123), 0x3u);
+}
+
+TEST(BitOps, InsertThenExtractRoundTrips)
+{
+    Rng rng(42);
+    for (int i = 0; i < 1000; ++i) {
+        unsigned width = 1 + static_cast<unsigned>(rng.below(31));
+        unsigned lo = static_cast<unsigned>(rng.below(32 - width + 1));
+        u32 field = static_cast<u32>(rng.next()) &
+                    ((width >= 32) ? ~0u : ((1u << width) - 1));
+        u32 base = static_cast<u32>(rng.next());
+        u32 out = insertBits(base, lo, width, field);
+        EXPECT_EQ(bitsOf(out, lo, width), field);
+    }
+}
+
+TEST(BitOps, SignExtendPositive)
+{
+    EXPECT_EQ(signExtend(0x7fff, 16), 0x7fff);
+    EXPECT_EQ(signExtend(0x0001, 16), 1);
+    EXPECT_EQ(signExtend(0, 16), 0);
+}
+
+TEST(BitOps, SignExtendNegative)
+{
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+}
+
+TEST(BitOps, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(BitOps, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(32), 5u);
+    EXPECT_EQ(log2i(1ull << 33), 33u);
+}
+
+TEST(BitOps, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+    EXPECT_EQ(roundDown(9, 8), 8u);
+    EXPECT_EQ(roundDown(7, 8), 0u);
+    EXPECT_EQ(roundDown(16, 8), 16u);
+}
+
+TEST(BitOps, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(39, 8), 5u);
+}
+
+/** Property: roundUp(x, a) is the least multiple of a that is >= x. */
+TEST(BitOps, RoundUpProperty)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        u64 a = 1ull << rng.below(16);
+        u64 x = rng.below(1ull << 40);
+        u64 r = roundUp(x, a);
+        EXPECT_GE(r, x);
+        EXPECT_EQ(r % a, 0u);
+        EXPECT_LT(r - x, a);
+    }
+}
+
+} // namespace
+} // namespace cps

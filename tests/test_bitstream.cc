@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit and property tests for the MSB-first bitstream codec that carries
+ * CodePack codewords.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitstream.hh"
+#include "common/rng.hh"
+
+namespace cps
+{
+namespace
+{
+
+TEST(BitWriter, EmptyStream)
+{
+    BitWriter bw;
+    EXPECT_EQ(bw.bitSize(), 0u);
+    EXPECT_EQ(bw.byteSize(), 0u);
+    EXPECT_TRUE(bw.byteAligned());
+}
+
+TEST(BitWriter, MsbFirstWithinByte)
+{
+    BitWriter bw;
+    bw.put(1, 1); // writes the MSB of byte 0
+    EXPECT_EQ(bw.bytes()[0], 0x80);
+    bw.put(1, 1);
+    EXPECT_EQ(bw.bytes()[0], 0xc0);
+}
+
+TEST(BitWriter, FieldSpansBytes)
+{
+    BitWriter bw;
+    bw.put(0xabc, 12);
+    ASSERT_EQ(bw.byteSize(), 2u);
+    EXPECT_EQ(bw.bytes()[0], 0xab);
+    EXPECT_EQ(bw.bytes()[1], 0xc0); // low 4 bits in the high nibble
+    EXPECT_EQ(bw.bitSize(), 12u);
+}
+
+TEST(BitWriter, AlignByteReturnsPadCount)
+{
+    BitWriter bw;
+    bw.put(0x3, 3);
+    EXPECT_EQ(bw.alignByte(), 5u);
+    EXPECT_TRUE(bw.byteAligned());
+    EXPECT_EQ(bw.alignByte(), 0u); // already aligned
+}
+
+TEST(BitReader, ReadsBackWrittenFields)
+{
+    BitWriter bw;
+    bw.put(0x5, 3);
+    bw.put(0x1ff, 9);
+    bw.put(0, 2);
+    bw.put(0xffffffff, 32);
+    bw.alignByte();
+    auto bytes = bw.take();
+
+    BitReader br(bytes);
+    EXPECT_EQ(br.get(3), 0x5u);
+    EXPECT_EQ(br.get(9), 0x1ffu);
+    EXPECT_EQ(br.get(2), 0u);
+    EXPECT_EQ(br.get(32), 0xffffffffu);
+}
+
+TEST(BitReader, PeekDoesNotConsume)
+{
+    BitWriter bw;
+    bw.put(0xa5, 8);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    EXPECT_EQ(br.peek(4), 0xau);
+    EXPECT_EQ(br.peek(8), 0xa5u);
+    EXPECT_EQ(br.get(8), 0xa5u);
+}
+
+TEST(BitReader, SeekAndPos)
+{
+    BitWriter bw;
+    bw.put(0xdead, 16);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    br.get(4);
+    EXPECT_EQ(br.bitPos(), 4u);
+    br.seekBit(8);
+    EXPECT_EQ(br.get(8), 0xadu);
+    br.seekBit(0);
+    EXPECT_EQ(br.get(16), 0xdeadu);
+}
+
+TEST(BitReader, SkipToByte)
+{
+    BitWriter bw;
+    bw.put(0x1, 3);
+    bw.alignByte();
+    bw.put(0x77, 8);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    br.get(3);
+    br.skipToByte();
+    EXPECT_EQ(br.get(8), 0x77u);
+}
+
+TEST(BitReader, BitsLeftTracksConsumption)
+{
+    std::vector<u8> bytes{0xff, 0x00};
+    BitReader br(bytes);
+    EXPECT_EQ(br.bitsLeft(), 16u);
+    br.get(5);
+    EXPECT_EQ(br.bitsLeft(), 11u);
+}
+
+/** Property: any sequence of variable-width fields round-trips. */
+TEST(BitStream, RandomFieldSequencesRoundTrip)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 200; ++trial) {
+        BitWriter bw;
+        std::vector<std::pair<u32, unsigned>> fields;
+        unsigned nfields = 1 + static_cast<unsigned>(rng.below(64));
+        for (unsigned i = 0; i < nfields; ++i) {
+            unsigned width = 1 + static_cast<unsigned>(rng.below(32));
+            u32 value = static_cast<u32>(rng.next());
+            if (width < 32)
+                value &= (1u << width) - 1;
+            fields.emplace_back(value, width);
+            bw.put(value, width);
+        }
+        unsigned pad = bw.alignByte();
+        EXPECT_LT(pad, 8u);
+        auto bytes = bw.take();
+
+        BitReader br(bytes);
+        for (auto [value, width] : fields)
+            ASSERT_EQ(br.get(width), value);
+    }
+}
+
+/** Property: bitSize equals the sum of written widths (before align). */
+TEST(BitStream, BitSizeAccumulates)
+{
+    Rng rng(99);
+    BitWriter bw;
+    size_t total = 0;
+    for (int i = 0; i < 500; ++i) {
+        unsigned width = 1 + static_cast<unsigned>(rng.below(24));
+        bw.put(0, width);
+        total += width;
+        ASSERT_EQ(bw.bitSize(), total);
+    }
+}
+
+} // namespace
+} // namespace cps

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Set-associative cache tests: geometry, hits/misses, LRU replacement,
+ * dirty-bit tracking, and parameterized sweeps over the paper's cache
+ * configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace cps
+{
+namespace
+{
+
+TEST(Cache, GeometryDerivation)
+{
+    CacheConfig cfg{16 * 1024, 32, 2};
+    EXPECT_EQ(cfg.numSets(), 256u);
+    Cache c(cfg);
+    EXPECT_EQ(c.lineAddr(0x12345), 0x12340u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c({1024, 32, 2});
+    EXPECT_FALSE(c.access(0x1000));
+    c.fill(0x1000);
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x101f)); // same line
+    EXPECT_FALSE(c.access(0x1020)); // next line
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    Cache c({64, 32, 2}); // 1 set, 2 ways
+    c.fill(0x0);
+    c.fill(0x1000);
+    // Probing 0x0 must not refresh its LRU position.
+    EXPECT_TRUE(c.probe(0x0));
+    c.fill(0x2000); // evicts true-LRU 0x0
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_TRUE(c.probe(0x1000));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c({64, 32, 2}); // 1 set, 2 ways
+    c.fill(0x0);
+    c.fill(0x1000);
+    EXPECT_TRUE(c.access(0x0)); // refresh 0x0; LRU is now 0x1000
+    CacheVictim v = c.fill(0x2000);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 0x1000u);
+    EXPECT_TRUE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(0x1000));
+}
+
+TEST(Cache, FillReportsInvalidVictimWhenWaysFree)
+{
+    Cache c({64, 32, 2});
+    CacheVictim v = c.fill(0x0);
+    EXPECT_FALSE(v.valid);
+}
+
+TEST(Cache, DirtyVictimReported)
+{
+    Cache c({64, 32, 2});
+    c.fill(0x0);
+    c.setDirty(0x0);
+    c.fill(0x1000);
+    CacheVictim v = c.fill(0x2000); // evicts 0x0 (LRU)
+    EXPECT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+    EXPECT_EQ(v.lineAddr, 0x0u);
+}
+
+TEST(Cache, CleanVictimNotDirty)
+{
+    Cache c({64, 32, 2});
+    c.fill(0x0);
+    c.fill(0x1000);
+    CacheVictim v = c.fill(0x2000);
+    EXPECT_TRUE(v.valid);
+    EXPECT_FALSE(v.dirty);
+}
+
+TEST(Cache, DirtyBitClearedOnRefill)
+{
+    Cache c({64, 32, 2});
+    c.fill(0x0);
+    c.setDirty(0x0);
+    c.fill(0x1000);
+    c.fill(0x2000); // 0x0 evicted dirty
+    c.fill(0x0);    // re-fill clean
+    c.fill(0x3000); // hmm: evicts LRU
+    // Either way, re-filled 0x0 must not be dirty if evicted now.
+    CacheVictim v = c.fill(0x4000);
+    if (v.valid && v.lineAddr == 0x0) {
+        EXPECT_FALSE(v.dirty);
+    }
+}
+
+TEST(Cache, SetsIsolateAddresses)
+{
+    Cache c({1024, 32, 2}); // 16 sets
+    // Same set index (bits 5..8): addresses 0x0 and 0x200 differ in set.
+    c.fill(0x0);
+    c.fill(0x20);
+    EXPECT_TRUE(c.probe(0x0));
+    EXPECT_TRUE(c.probe(0x20));
+}
+
+TEST(Cache, InvalidateAllEmptiesCache)
+{
+    Cache c({1024, 32, 2});
+    c.fill(0x0);
+    c.fill(0x100);
+    c.invalidateAll();
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(0x100));
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    Cache c({256, 32, 1}); // 8 sets, direct mapped
+    c.fill(0x0);
+    EXPECT_TRUE(c.probe(0x0));
+    c.fill(0x100); // same set (0x100/32 = 8 -> set 0)
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_TRUE(c.probe(0x100));
+}
+
+/** Working sets up to the cache size never miss after warmup (LRU). */
+class CacheSweep
+    : public ::testing::TestWithParam<std::tuple<u32, u32>>
+{};
+
+TEST_P(CacheSweep, ResidentWorkingSetHasNoSteadyStateMisses)
+{
+    auto [size_kb, assoc] = GetParam();
+    CacheConfig cfg{size_kb * 1024, 32, assoc};
+    Cache c(cfg);
+    u32 lines = cfg.sizeBytes / cfg.lineBytes;
+    // Warmup: touch every line once.
+    for (u32 i = 0; i < lines; ++i) {
+        if (!c.access(i * 32))
+            c.fill(i * 32);
+    }
+    // Steady state: everything hits, in any order.
+    for (u32 round = 0; round < 3; ++round) {
+        for (u32 i = 0; i < lines; ++i)
+            EXPECT_TRUE(c.access(((lines - 1 - i) * 32)));
+    }
+}
+
+TEST_P(CacheSweep, OverCapacityWorkingSetThrashes)
+{
+    auto [size_kb, assoc] = GetParam();
+    CacheConfig cfg{size_kb * 1024, 32, assoc};
+    Cache c(cfg);
+    u32 lines = 2 * cfg.sizeBytes / cfg.lineBytes; // 2x capacity
+    u64 misses = 0;
+    for (u32 round = 0; round < 3; ++round) {
+        for (u32 i = 0; i < lines; ++i) {
+            if (!c.access(i * 32)) {
+                ++misses;
+                c.fill(i * 32);
+            }
+        }
+    }
+    // Sequential sweep of 2x capacity under LRU misses every access.
+    EXPECT_EQ(misses, static_cast<u64>(lines) * 3);
+}
+
+
+// ------------------------------------------------- replacement policies
+
+TEST(CachePolicy, FifoIgnoresRecency)
+{
+    CacheConfig cfg{64, 32, 2};
+    cfg.policy = ReplPolicy::Fifo;
+    Cache c(cfg);
+    c.fill(0x0);
+    c.fill(0x1000);
+    // Touch 0x0: under LRU this would protect it; FIFO evicts it anyway
+    // (it was inserted first).
+    EXPECT_TRUE(c.access(0x0));
+    c.fill(0x2000);
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_TRUE(c.probe(0x1000));
+}
+
+TEST(CachePolicy, RandomIsDeterministicAcrossRuns)
+{
+    auto run = [] {
+        CacheConfig cfg{256, 32, 4};
+        cfg.policy = ReplPolicy::Random;
+        Cache c(cfg);
+        u64 misses = 0;
+        for (int round = 0; round < 8; ++round) {
+            for (Addr a = 0; a < 0x800; a += 32) {
+                if (!c.access(a)) {
+                    ++misses;
+                    c.fill(a);
+                }
+            }
+        }
+        return misses;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(CachePolicy, LruBeatsRandomOnLoopingWorkingSet)
+{
+    // A working set slightly over capacity, revisited cyclically:
+    // random replacement keeps some lines by luck; LRU evicts exactly
+    // the line about to be used (pathological) -- so here random should
+    // not be *worse* than 100% missing, while LRU is.
+    auto misses_with = [](ReplPolicy policy) {
+        CacheConfig cfg{256, 32, 8}; // fully assoc: 8 lines
+        cfg.policy = policy;
+        Cache c(cfg);
+        u64 misses = 0;
+        for (int round = 0; round < 50; ++round) {
+            for (Addr a = 0; a < 9 * 32; a += 32) { // 9 lines > 8 ways
+                if (!c.access(a)) {
+                    ++misses;
+                    c.fill(a);
+                }
+            }
+        }
+        return misses;
+    };
+    u64 lru = misses_with(ReplPolicy::Lru);
+    u64 rnd = misses_with(ReplPolicy::Random);
+    EXPECT_EQ(lru, 50u * 9u); // LRU thrashes completely
+    EXPECT_LT(rnd, lru);      // random retains some of the set
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, CacheSweep,
+    ::testing::Values(std::make_tuple(1u, 2u), std::make_tuple(4u, 2u),
+                      std::make_tuple(8u, 2u), std::make_tuple(16u, 2u),
+                      std::make_tuple(32u, 2u), std::make_tuple(64u, 2u),
+                      std::make_tuple(16u, 1u), std::make_tuple(16u, 4u)));
+
+} // namespace
+} // namespace cps

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the related-work baseline compressors: Huffman coding,
+ * CCRP byte-Huffman lines, and the Lefurgy'97 instruction dictionary,
+ * plus the shared line-granular fetch timing path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/ccrp.hh"
+#include "compress/dict32.hh"
+#include "common/rng.hh"
+#include "isa/isa.hh"
+#include "progen/progen.hh"
+
+namespace cps
+{
+namespace compress
+{
+namespace
+{
+
+// ------------------------------------------------------------- Huffman
+
+std::array<u64, 256>
+countsFor(const std::vector<u8> &bytes)
+{
+    std::array<u64, 256> counts{};
+    for (u8 b : bytes)
+        ++counts[b];
+    return counts;
+}
+
+TEST(Huffman, RoundTripsSkewedData)
+{
+    Rng rng(1);
+    std::vector<u8> data;
+    for (int i = 0; i < 5000; ++i)
+        data.push_back(static_cast<u8>(rng.skewedRange(0, 255)));
+    HuffmanCode code = HuffmanCode::build(countsFor(data));
+    BitWriter bw;
+    for (u8 b : data)
+        code.encode(bw, b);
+    bw.alignByte();
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    for (u8 b : data)
+        ASSERT_EQ(code.decode(br), b);
+}
+
+TEST(Huffman, FrequentSymbolsGetShortCodes)
+{
+    std::array<u64, 256> counts{};
+    counts[0x00] = 100000;
+    counts[0x01] = 10;
+    HuffmanCode code = HuffmanCode::build(counts);
+    EXPECT_LT(code.length(0x00), code.length(0x01));
+    EXPECT_LE(code.length(0x00), 2u);
+}
+
+TEST(Huffman, AbsentSymbolsRemainEncodable)
+{
+    std::array<u64, 256> counts{};
+    counts[0x41] = 1000;
+    HuffmanCode code = HuffmanCode::build(counts);
+    BitWriter bw;
+    code.encode(bw, 0xff); // never counted
+    bw.alignByte();
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    EXPECT_EQ(code.decode(br), 0xff);
+}
+
+TEST(Huffman, LengthsAreLimited)
+{
+    // A Fibonacci-ish count profile forces deep optimal trees; the
+    // builder must cap lengths at kMaxLen.
+    std::array<u64, 256> counts{};
+    u64 a = 1, b = 1;
+    for (int s = 0; s < 40; ++s) {
+        counts[s] = a;
+        u64 next = a + b;
+        a = b;
+        b = next;
+    }
+    HuffmanCode code = HuffmanCode::build(counts);
+    for (int s = 0; s < 256; ++s) {
+        EXPECT_GE(code.length(static_cast<u8>(s)), 1u);
+        EXPECT_LE(code.length(static_cast<u8>(s)), HuffmanCode::kMaxLen);
+    }
+    // Kraft inequality must hold for decodability.
+    double kraft = 0;
+    for (int s = 0; s < 256; ++s)
+        kraft += std::pow(2.0, -static_cast<double>(
+                                    code.length(static_cast<u8>(s))));
+    EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(Huffman, UniformDataGetsEightBitCodes)
+{
+    std::array<u64, 256> counts{};
+    counts.fill(100);
+    HuffmanCode code = HuffmanCode::build(counts);
+    for (int s = 0; s < 256; ++s)
+        EXPECT_EQ(code.length(static_cast<u8>(s)), 8u);
+}
+
+// ---------------------------------------------------------------- CCRP
+
+std::vector<u32>
+benchWords(const char *name = "pegwit")
+{
+    Program prog = generateProgram(findProfile(name));
+    std::vector<u32> words;
+    for (size_t i = 0; i < prog.textWords(); ++i)
+        words.push_back(prog.word(i));
+    return words;
+}
+
+TEST(Ccrp, RoundTripsBenchmarkText)
+{
+    auto words = benchWords();
+    CcrpImage img = CcrpImage::compress(words, kTextBase);
+    EXPECT_EQ(img.decompressAll(), words);
+}
+
+TEST(Ccrp, RatioInPublishedBallpark)
+{
+    // The paper quotes ~73% overall for CCRP on MIPS.
+    auto words = benchWords();
+    CcrpImage img = CcrpImage::compress(words, kTextBase);
+    EXPECT_GT(img.compressionRatio(), 0.50);
+    EXPECT_LT(img.compressionRatio(), 0.90);
+}
+
+TEST(Ccrp, LinesAreIndependentlyAddressable)
+{
+    auto words = benchWords();
+    CcrpImage img = CcrpImage::compress(words, kTextBase);
+    u32 total = 0;
+    for (u32 l = 0; l < img.numLines(); ++l) {
+        LineExtent e = img.extent(l);
+        EXPECT_EQ(e.byteOffset, total);
+        total += e.byteLen;
+        auto ends = img.insnEndBytes(l);
+        u32 prev = e.byteOffset;
+        for (u32 end : ends) {
+            EXPECT_GE(end, prev);
+            prev = end;
+        }
+        EXPECT_LE(prev, e.byteOffset + e.byteLen);
+    }
+}
+
+TEST(Ccrp, SlowSerialDecode)
+{
+    CcrpImage img = CcrpImage::compress(benchWords(), kTextBase);
+    EXPECT_EQ(img.decodeCyclesPerInsn(), 4u); // byte-serial, 4B/insn
+    EXPECT_STREQ(img.name(), "ccrp");
+}
+
+// -------------------------------------------------------------- dict32
+
+TEST(Dict32, RoundTripsBenchmarkText)
+{
+    auto words = benchWords();
+    Dict32Image img = Dict32Image::compress(words, kTextBase);
+    EXPECT_EQ(img.decompressAll(), words);
+}
+
+TEST(Dict32, RoundTripsRandomWords)
+{
+    Rng rng(3);
+    std::vector<u32> words;
+    for (int i = 0; i < 1024; ++i)
+        words.push_back(static_cast<u32>(rng.next()));
+    Dict32Image img = Dict32Image::compress(words, kTextBase);
+    EXPECT_EQ(img.decompressAll(), words);
+}
+
+TEST(Dict32, NeedsThousandsOfEntries)
+{
+    // The paper's point about Lefurgy'97: similar ratio to CodePack but
+    // a much larger dictionary (thousands of 32-bit entries).
+    auto words = benchWords("go");
+    Dict32Image img = Dict32Image::compress(words, kTextBase);
+    EXPECT_GT(img.dictionaryEntries(), 1000u);
+}
+
+TEST(Dict32, RatioComparableToCodePack)
+{
+    auto words = benchWords("go");
+    Dict32Image img = Dict32Image::compress(words, kTextBase);
+    EXPECT_GT(img.compressionRatio(), 0.40);
+    EXPECT_LT(img.compressionRatio(), 0.85);
+}
+
+TEST(Dict32, MostFrequentInstructionIsOneByte)
+{
+    std::vector<u32> words(512, 0x27bdffe0); // one dominant instruction
+    words.push_back(0x12345678);
+    Dict32Image img = Dict32Image::compress(words, kTextBase);
+    // 512 bytes of codewords for 512 repeats => well under 25%.
+    EXPECT_LT(img.compressionRatio(), 0.40);
+}
+
+TEST(Dict32, ExtentsCoverTheStream)
+{
+    auto words = benchWords();
+    Dict32Image img = Dict32Image::compress(words, kTextBase);
+    u32 total = 0;
+    for (u32 l = 0; l < img.numLines(); ++l) {
+        LineExtent e = img.extent(l);
+        EXPECT_EQ(e.byteOffset, total);
+        total += e.byteLen;
+    }
+    EXPECT_EQ(total, img.streamBits() / 8);
+}
+
+// -------------------------------------------- line-compressed fetching
+
+TEST(LineFetch, ServesMissesThroughTheCodec)
+{
+    auto words = benchWords();
+    Dict32Image img = Dict32Image::compress(words, kTextBase);
+    MainMemory mem;
+    StatSet stats;
+    LineCompressedFetchPath fetch(CacheConfig{1024, 32, 2}, img, mem,
+                                  stats);
+    Cycle ready = fetch.fetchWord(kTextBase, 0);
+    EXPECT_GT(ready, 10u); // LAT fetch + line fetch + decode
+    EXPECT_EQ(stats.value("icache.misses"), 1u);
+    EXPECT_EQ(stats.value("linecodec.lat_misses"), 1u);
+    // Sequential next line: LAT entry is in the cached LAT line.
+    Cycle ready2 = fetch.fetchWord(kTextBase + 32, 1000);
+    EXPECT_GT(ready2, 1000u);
+    EXPECT_EQ(stats.value("linecodec.lat_misses"), 1u);
+}
+
+TEST(LineFetch, CcrpDecodesSlowerThanDict32)
+{
+    auto words = benchWords();
+    CcrpImage ccrp = CcrpImage::compress(words, kTextBase);
+    Dict32Image d32 = Dict32Image::compress(words, kTextBase);
+
+    MainMemory mem_a, mem_b;
+    StatSet stats_a, stats_b;
+    LineCompressedFetchPath fa(CacheConfig{1024, 32, 2}, ccrp, mem_a,
+                               stats_a);
+    LineCompressedFetchPath fb(CacheConfig{1024, 32, 2}, d32, mem_b,
+                               stats_b);
+    // Same miss; CCRP's 4-cycle-per-instruction serial decode must
+    // deliver the line's last word later.
+    fa.fetchWord(kTextBase, 0);
+    fb.fetchWord(kTextBase, 0);
+    Cycle last_a = fa.fetchWord(kTextBase + 28, 0);
+    Cycle last_b = fb.fetchWord(kTextBase + 28, 0);
+    EXPECT_GT(last_a, last_b);
+}
+
+TEST(LineFetch, ResetClearsLatCache)
+{
+    auto words = benchWords();
+    Dict32Image img = Dict32Image::compress(words, kTextBase);
+    MainMemory mem;
+    StatSet stats;
+    LineCompressedFetchPath fetch(CacheConfig{1024, 32, 2}, img, mem,
+                                  stats);
+    fetch.fetchWord(kTextBase, 0);
+    fetch.reset();
+    fetch.fetchWord(kTextBase, 1000);
+    EXPECT_EQ(stats.value("linecodec.lat_misses"), 2u);
+}
+
+} // namespace
+} // namespace compress
+} // namespace cps

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * CodePack dictionary tests: bank structure, frequency ranking, the
+ * special low-zero codeword, the raw escape, and bitstream round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "codepack/dictionary.hh"
+#include "common/rng.hh"
+
+namespace cps
+{
+namespace codepack
+{
+namespace
+{
+
+std::unordered_map<u16, u64>
+countsOf(std::initializer_list<std::pair<u16, u64>> init)
+{
+    std::unordered_map<u16, u64> m;
+    for (auto [v, c] : init)
+        m[v] = c;
+    return m;
+}
+
+TEST(DictionaryFormat, BankConstraintsMatchThePaper)
+{
+    // Two dictionaries of < 512 entries each, codewords of 2..11 bits
+    // with 2-3 bit tags, fitting a 2KB on-chip buffer (paper 3.1-3.2).
+    unsigned high_entries = 0;
+    for (const Bank &b : kHighBanks) {
+        high_entries += b.entries();
+        EXPECT_GE(b.codeBits(), 2u);
+        EXPECT_LE(b.codeBits(), 11u);
+        EXPECT_GE(b.tagBits, 2u);
+        EXPECT_LE(b.tagBits, 3u);
+    }
+    unsigned low_entries = 0;
+    for (const Bank &b : kLowBanks) {
+        low_entries += b.entries();
+        EXPECT_LE(b.codeBits(), 11u);
+    }
+    EXPECT_LT(high_entries, 512u);
+    EXPECT_LT(low_entries, 512u);
+    EXPECT_LE((high_entries + low_entries) * 2, 2048u); // 2KB buffer
+}
+
+TEST(Dictionary, EmptyDictionaryEncodesRaw)
+{
+    Dictionary d(Dictionary::Kind::High);
+    HalfEncoding e = d.encode(0x1234);
+    EXPECT_TRUE(e.raw);
+    EXPECT_EQ(e.totalBits(), 3u + 16u);
+    EXPECT_EQ(d.totalEntries(), 0u);
+}
+
+TEST(Dictionary, LowZeroHasTwoBitCodeword)
+{
+    Dictionary d(Dictionary::Kind::Low);
+    HalfEncoding e = d.encode(0);
+    EXPECT_TRUE(e.zeroSpecial);
+    EXPECT_FALSE(e.raw);
+    EXPECT_EQ(e.totalBits(), 2u);
+}
+
+TEST(Dictionary, ZeroNeverStoredInLowDictionary)
+{
+    auto counts = countsOf({{0, 1000000}, {1, 100}, {2, 50}});
+    Dictionary d = Dictionary::build(Dictionary::Kind::Low, counts);
+    // 0 keeps the special codeword even though it is the most common.
+    EXPECT_TRUE(d.encode(0).zeroSpecial);
+    // 1 takes the first dictionary slot.
+    HalfEncoding e = d.encode(1);
+    EXPECT_FALSE(e.raw);
+    EXPECT_EQ(e.bank, 0u);
+    EXPECT_EQ(e.index, 0u);
+}
+
+TEST(Dictionary, HighZeroIsOrdinary)
+{
+    auto counts = countsOf({{0, 1000}, {7, 100}});
+    Dictionary d = Dictionary::build(Dictionary::Kind::High, counts);
+    HalfEncoding e = d.encode(0);
+    EXPECT_FALSE(e.zeroSpecial);
+    EXPECT_FALSE(e.raw);
+    EXPECT_EQ(e.index, 0u); // most frequent -> first slot
+}
+
+TEST(Dictionary, FrequencyRankingAcrossBanks)
+{
+    // 20 values with strictly decreasing counts: the first 16 land in
+    // bank 0 (4-bit index), the rest in bank 1.
+    std::unordered_map<u16, u64> counts;
+    for (u16 v = 0; v < 20; ++v)
+        counts[v + 100] = 1000 - v;
+    Dictionary d = Dictionary::build(Dictionary::Kind::High, counts);
+    for (u16 v = 0; v < 16; ++v) {
+        HalfEncoding e = d.encode(v + 100);
+        EXPECT_EQ(e.bank, 0u) << v;
+        EXPECT_EQ(e.index, v);
+    }
+    for (u16 v = 16; v < 20; ++v)
+        EXPECT_EQ(d.encode(v + 100).bank, 1u) << v;
+}
+
+TEST(Dictionary, AdmissionRejectsSingleOccurrences)
+{
+    // A value seen once costs more dictionary bits than it saves.
+    auto counts = countsOf({{42, 1}});
+    Dictionary d = Dictionary::build(Dictionary::Kind::High, counts);
+    EXPECT_TRUE(d.encode(42).raw);
+    EXPECT_EQ(d.totalEntries(), 0u);
+}
+
+TEST(Dictionary, AdmissionAcceptsRepeatedValues)
+{
+    auto counts = countsOf({{42, 3}});
+    Dictionary d = Dictionary::build(Dictionary::Kind::High, counts);
+    EXPECT_FALSE(d.encode(42).raw);
+}
+
+TEST(Dictionary, DeterministicTieBreak)
+{
+    auto counts = countsOf({{5, 10}, {3, 10}, {9, 10}});
+    Dictionary a = Dictionary::build(Dictionary::Kind::High, counts);
+    Dictionary b = Dictionary::build(Dictionary::Kind::High, counts);
+    for (u16 v : {5, 3, 9})
+        EXPECT_EQ(a.encode(v).index, b.encode(v).index);
+    // Ties break by value: 3 < 5 < 9.
+    EXPECT_EQ(a.encode(3).index, 0u);
+    EXPECT_EQ(a.encode(5).index, 1u);
+    EXPECT_EQ(a.encode(9).index, 2u);
+}
+
+TEST(Dictionary, LookupInverseOfEncode)
+{
+    std::unordered_map<u16, u64> counts;
+    for (u16 v = 0; v < 200; ++v)
+        counts[v * 7 + 1] = 1000 - v;
+    Dictionary d = Dictionary::build(Dictionary::Kind::High, counts);
+    for (u16 v = 0; v < 200; ++v) {
+        u16 value = v * 7 + 1;
+        HalfEncoding e = d.encode(value);
+        if (!e.raw) {
+            EXPECT_EQ(d.lookup(e.bank, e.index), value);
+        }
+    }
+}
+
+TEST(Dictionary, StorageBitsCountsEntries)
+{
+    auto counts = countsOf({{1, 100}, {2, 100}, {3, 100}});
+    Dictionary d = Dictionary::build(Dictionary::Kind::High, counts);
+    EXPECT_EQ(d.storageBits(), d.totalEntries() * 16u);
+    EXPECT_EQ(d.totalEntries(), 3u);
+}
+
+class DictRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+/** Property: write() then read() restores any halfword value. */
+TEST_P(DictRoundTrip, WriteReadRestoresValues)
+{
+    Rng rng(GetParam());
+    // A random value population with skewed counts.
+    std::unordered_map<u16, u64> counts;
+    unsigned population = 50 + static_cast<unsigned>(rng.below(900));
+    for (unsigned i = 0; i < population; ++i)
+        counts[static_cast<u16>(rng.next())] += rng.below(100) + 1;
+
+    for (auto kind : {Dictionary::Kind::High, Dictionary::Kind::Low}) {
+        Dictionary d = Dictionary::build(kind, counts);
+        BitWriter bw;
+        std::vector<u16> values;
+        for (int i = 0; i < 500; ++i) {
+            u16 v = static_cast<u16>(rng.next());
+            if (rng.chancePercent(30))
+                v = 0; // exercise the low-zero path
+            values.push_back(v);
+            d.write(bw, v);
+        }
+        bw.alignByte();
+        auto bytes = bw.take();
+        BitReader br(bytes);
+        for (u16 v : values)
+            ASSERT_EQ(d.read(br), v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DictRoundTrip,
+                         ::testing::Range(1, 9));
+
+
+TEST(Dictionary, OverflowSpillsToRaw)
+{
+    // More distinct hot values than the dictionary holds (464 for the
+    // high dictionary): the overflow must encode raw and still be
+    // readable.
+    std::unordered_map<u16, u64> counts;
+    for (u16 v = 0; v < 600; ++v)
+        counts[v] = 1000;
+    Dictionary d = Dictionary::build(Dictionary::Kind::High, counts);
+    EXPECT_EQ(d.totalEntries(), 464u); // 16+64+128+256, all banks full
+    unsigned raw = 0;
+    for (u16 v = 0; v < 600; ++v)
+        raw += d.encode(v).raw;
+    EXPECT_EQ(raw, 600u - 464u);
+    // Round-trip through a stream mixing dictionary and raw values.
+    BitWriter bw;
+    for (u16 v = 0; v < 600; ++v)
+        d.write(bw, v);
+    bw.alignByte();
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    for (u16 v = 0; v < 600; ++v)
+        ASSERT_EQ(d.read(br), v);
+}
+
+TEST(Dictionary, CodewordLengthsAreMonotoneInRank)
+{
+    // More frequent values never get longer codewords.
+    std::unordered_map<u16, u64> counts;
+    for (u16 v = 1; v <= 600; ++v)
+        counts[v] = 10000 - v * 2;
+    Dictionary d = Dictionary::build(Dictionary::Kind::High, counts);
+    unsigned prev = 0;
+    for (u16 v = 1; v <= 600; ++v) {
+        HalfEncoding e = d.encode(v);
+        unsigned bits = e.totalBits();
+        EXPECT_GE(bits, prev) << "value " << v;
+        prev = bits;
+    }
+}
+
+} // namespace
+} // namespace codepack
+} // namespace cps

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Disassembler output checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+
+namespace cps
+{
+namespace
+{
+
+Inst
+make(Op op)
+{
+    Inst i;
+    i.op = op;
+    return i;
+}
+
+TEST(Disasm, Nop)
+{
+    EXPECT_EQ(disassemble(kNopWord), "nop");
+}
+
+TEST(Disasm, Rrr)
+{
+    Inst i = make(Op::Addu);
+    i.rd = 2;
+    i.rs = 4;
+    i.rt = 5;
+    i.raw = encode(i);
+    EXPECT_EQ(disassemble(i), "addu $v0, $a0, $a1");
+}
+
+TEST(Disasm, ShiftShowsAmount)
+{
+    Inst i = make(Op::Sll);
+    i.rd = 8;
+    i.rt = 9;
+    i.shamt = 4;
+    i.raw = encode(i);
+    EXPECT_EQ(disassemble(i), "sll $t0, $t1, 4");
+}
+
+TEST(Disasm, ImmediateSigned)
+{
+    Inst i = make(Op::Addiu);
+    i.rt = 8;
+    i.rs = 29;
+    i.imm = static_cast<u16>(-32);
+    i.raw = encode(i);
+    EXPECT_EQ(disassemble(i), "addiu $t0, $sp, -32");
+}
+
+TEST(Disasm, LogicalImmediateHex)
+{
+    Inst i = make(Op::Andi);
+    i.rt = 8;
+    i.rs = 8;
+    i.imm = 0xff;
+    i.raw = encode(i);
+    EXPECT_EQ(disassemble(i), "andi $t0, $t0, 0xff");
+}
+
+TEST(Disasm, MemoryOperand)
+{
+    Inst i = make(Op::Lw);
+    i.rt = 31;
+    i.rs = 29;
+    i.imm = 28;
+    i.raw = encode(i);
+    EXPECT_EQ(disassemble(i), "lw $ra, 28($sp)");
+}
+
+TEST(Disasm, BranchTargetUsesPc)
+{
+    Inst i = make(Op::Beq);
+    i.rs = 1;
+    i.rt = 0;
+    i.imm = 3; // pc + 4 + 12
+    i.raw = encode(i);
+    EXPECT_EQ(disassemble(i, 0x1000), "beq $at, $zero, 0x1010");
+}
+
+TEST(Disasm, BackwardBranch)
+{
+    Inst i = make(Op::Bne);
+    i.rs = 8;
+    i.rt = 9;
+    i.imm = static_cast<u16>(-2); // pc + 4 - 8
+    i.raw = encode(i);
+    EXPECT_EQ(disassemble(i, 0x1000), "bne $t0, $t1, 0xffc");
+}
+
+TEST(Disasm, JumpTarget)
+{
+    Inst i = make(Op::Jal);
+    i.target = 0x10000 >> 2;
+    i.raw = encode(i);
+    EXPECT_EQ(disassemble(i), "jal 0x10000");
+}
+
+TEST(Disasm, FpThreeOperand)
+{
+    Inst i = make(Op::MulS);
+    i.shamt = 2;
+    i.rd = 4;
+    i.rt = 6;
+    i.raw = encode(i);
+    EXPECT_EQ(disassemble(i), "mul.s $f2, $f4, $f6");
+}
+
+TEST(Disasm, Syscall)
+{
+    Inst i = make(Op::Syscall);
+    i.raw = encode(i);
+    EXPECT_EQ(disassemble(i), "syscall");
+}
+
+TEST(Disasm, InvalidShowsRawWord)
+{
+    std::string out = disassemble(0xfc001234u);
+    EXPECT_NE(out.find("0xfc001234"), std::string::npos);
+}
+
+TEST(Disasm, WordOverloadDecodesFirst)
+{
+    Inst i = make(Op::Ori);
+    i.rt = 2;
+    i.rs = 0;
+    i.imm = 7;
+    EXPECT_EQ(disassemble(encode(i)), "ori $v0, $zero, 0x7");
+}
+
+} // namespace
+} // namespace cps

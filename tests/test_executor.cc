@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Functional-executor tests: instruction semantics, control flow,
+ * memory, FP, and syscalls, all through small assembled programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "core/executor.hh"
+
+namespace cps
+{
+namespace
+{
+
+/** Runs an assembled program to completion; returns the executor. */
+struct RunEnv
+{
+    Program prog;
+    MainMemory mem;
+    DecodedText text;
+    Executor exec;
+
+    explicit RunEnv(const std::string &src)
+        : prog(assembleOrDie(src)), text(prog), exec(text, mem)
+    {
+        mem.loadSegment(prog.text);
+        mem.loadSegment(prog.data);
+        exec.reset(prog);
+    }
+
+    void
+    run(u64 max_steps = 1000000)
+    {
+        while (!exec.halted() && exec.instCount() < max_steps)
+            exec.step();
+        ASSERT_TRUE(exec.halted()) << "program did not halt";
+    }
+
+    u32 gpr(unsigned r) const { return exec.state().readGpr(r); }
+};
+
+TEST(Executor, ArithmeticBasics)
+{
+    RunEnv env(R"(
+main:
+    li $t0, 7
+    li $t1, 5
+    addu $t2, $t0, $t1   # 12
+    subu $t3, $t0, $t1   # 2
+    mul $t4, $t0, $t1    # 35
+    div $t5, $t0, $t1    # 1
+    rem $t6, $t0, $t1    # 2
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(10), 12u);
+    EXPECT_EQ(env.gpr(11), 2u);
+    EXPECT_EQ(env.gpr(12), 35u);
+    EXPECT_EQ(env.gpr(13), 1u);
+    EXPECT_EQ(env.gpr(14), 2u);
+}
+
+TEST(Executor, SignedVsUnsignedCompare)
+{
+    RunEnv env(R"(
+main:
+    li $t0, -1
+    li $t1, 1
+    slt $t2, $t0, $t1    # signed: -1 < 1 -> 1
+    sltu $t3, $t0, $t1   # unsigned: 0xffffffff < 1 -> 0
+    slti $t4, $t0, 0     # 1
+    sltiu $t5, $t1, 2    # 1
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(10), 1u);
+    EXPECT_EQ(env.gpr(11), 0u);
+    EXPECT_EQ(env.gpr(12), 1u);
+    EXPECT_EQ(env.gpr(13), 1u);
+}
+
+TEST(Executor, ShiftsAndLogic)
+{
+    RunEnv env(R"(
+main:
+    li $t0, 0xf0f0
+    li $t1, 0x0ff0
+    and $t2, $t0, $t1    # 0x0ff0 & 0xf0f0 = 0x00f0
+    or $t3, $t0, $t1     # 0xfff0
+    xor $t4, $t0, $t1    # 0xff00
+    nor $t5, $t0, $zero  # ~0xf0f0
+    sll $t6, $t1, 4      # 0xff00
+    srl $t7, $t0, 4      # 0x0f0f
+    li $t8, -16
+    sra $t9, $t8, 2      # -4
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(10), 0x00f0u);
+    EXPECT_EQ(env.gpr(11), 0xfff0u);
+    EXPECT_EQ(env.gpr(12), 0xff00u);
+    EXPECT_EQ(env.gpr(13), ~0xf0f0u);
+    EXPECT_EQ(env.gpr(14), 0xff00u);
+    EXPECT_EQ(env.gpr(15), 0x0f0fu);
+    EXPECT_EQ(env.gpr(25), static_cast<u32>(-4));
+}
+
+TEST(Executor, VariableShifts)
+{
+    RunEnv env(R"(
+main:
+    li $t0, 1
+    li $t1, 35           # shift amounts use low 5 bits: 35 & 31 = 3
+    sllv $t2, $t0, $t1   # 8
+    li $t3, 0x80000000
+    srlv $t4, $t3, $t1   # 0x10000000
+    srav $t5, $t3, $t1   # 0xf0000000
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(10), 8u);
+    EXPECT_EQ(env.gpr(12), 0x10000000u);
+    EXPECT_EQ(env.gpr(13), 0xf0000000u);
+}
+
+TEST(Executor, DivisionByZeroIsZero)
+{
+    RunEnv env(R"(
+main:
+    li $t0, 42
+    div $t1, $t0, $zero
+    rem $t2, $t0, $zero
+    divu $t3, $t0, $zero
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(9), 0u);
+    EXPECT_EQ(env.gpr(10), 0u);
+    EXPECT_EQ(env.gpr(11), 0u);
+}
+
+TEST(Executor, ZeroRegisterIsImmutable)
+{
+    RunEnv env(R"(
+main:
+    li $t0, 5
+    addu $zero, $t0, $t0
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(0), 0u);
+}
+
+TEST(Executor, LoadStoreAllWidths)
+{
+    RunEnv env(R"(
+.data
+buf: .space 16
+.text
+main:
+    la $t0, buf
+    li $t1, 0x80
+    sb $t1, 0($t0)
+    lb $t2, 0($t0)       # sign-extends: 0xffffff80
+    lbu $t3, 0($t0)      # 0x80
+    li $t4, 0x8000
+    sh $t4, 4($t0)
+    lh $t5, 4($t0)       # 0xffff8000
+    lhu $t6, 4($t0)      # 0x8000
+    li $t7, 0x12345678
+    sw $t7, 8($t0)
+    lw $t8, 8($t0)
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(10), 0xffffff80u);
+    EXPECT_EQ(env.gpr(11), 0x80u);
+    EXPECT_EQ(env.gpr(13), 0xffff8000u);
+    EXPECT_EQ(env.gpr(14), 0x8000u);
+    EXPECT_EQ(env.gpr(24), 0x12345678u);
+}
+
+TEST(Executor, LoopSumsCorrectly)
+{
+    RunEnv env(R"(
+main:
+    li $t0, 0          # sum
+    li $t1, 100        # i
+loop:
+    addu $t0, $t0, $t1
+    addiu $t1, $t1, -1
+    bgtz $t1, loop
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(8), 5050u);
+}
+
+TEST(Executor, CallAndReturn)
+{
+    RunEnv env(R"(
+main:
+    li $a0, 20
+    jal double_it
+    move $s0, $v0
+    li $v0, 10
+    syscall
+double_it:
+    addu $v0, $a0, $a0
+    jr $ra
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(16), 40u);
+}
+
+TEST(Executor, RecursiveFactorial)
+{
+    RunEnv env(R"(
+main:
+    li $a0, 6
+    jal fact
+    move $s0, $v0
+    li $v0, 10
+    syscall
+fact:
+    addiu $sp, $sp, -8
+    sw $ra, 4($sp)
+    sw $a0, 0($sp)
+    li $v0, 1
+    blez $a0, fact_done
+    addiu $a0, $a0, -1
+    jal fact
+    lw $a0, 0($sp)
+    mul $v0, $v0, $a0
+fact_done:
+    lw $ra, 4($sp)
+    addiu $sp, $sp, 8
+    jr $ra
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(16), 720u);
+}
+
+TEST(Executor, IndirectCallThroughTable)
+{
+    RunEnv env(R"(
+.data
+table: .word f1, f2
+.text
+main:
+    la $t0, table
+    lw $t1, 4($t0)
+    jalr $t1
+    move $s0, $v0
+    li $v0, 10
+    syscall
+f1: li $v0, 111
+    jr $ra
+f2: li $v0, 222
+    jr $ra
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(16), 222u);
+}
+
+TEST(Executor, BranchVariants)
+{
+    RunEnv env(R"(
+main:
+    li $t0, -3
+    li $s0, 0
+    bltz $t0, a
+    li $s0, 99
+a:  bgez $t0, bad
+    addiu $s0, $s0, 1    # executed
+    li $t1, 0
+    blez $t1, b
+bad:
+    li $s0, 99
+b:  bgtz $t1, bad2
+    addiu $s0, $s0, 1
+bad2:
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(16), 2u);
+}
+
+TEST(Executor, FloatingPoint)
+{
+    RunEnv env(R"(
+main:
+    li $t0, 3
+    mtc1 $t0, $f0
+    cvt.s.w $f0, $f0     # 3.0
+    li $t1, 4
+    mtc1 $t1, $f1
+    cvt.s.w $f1, $f1     # 4.0
+    add.s $f2, $f0, $f1  # 7.0
+    mul.s $f3, $f0, $f1  # 12.0
+    sub.s $f4, $f1, $f0  # 1.0
+    div.s $f5, $f3, $f1  # 3.0
+    neg.s $f6, $f2       # -7.0
+    abs.s $f7, $f6       # 7.0
+    cvt.w.s $f8, $f3
+    mfc1 $s0, $f8        # 12
+    c.lt.s $f0, $f1      # true
+    bc1t ok
+    li $s1, 99
+ok: li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(16), 12u);
+    EXPECT_EQ(env.gpr(17), 0u);
+    EXPECT_FLOAT_EQ(env.exec.state().fprAsFloat(2), 7.0f);
+    EXPECT_FLOAT_EQ(env.exec.state().fprAsFloat(6), -7.0f);
+    EXPECT_FLOAT_EQ(env.exec.state().fprAsFloat(7), 7.0f);
+}
+
+TEST(Executor, FpMemoryAndCompares)
+{
+    RunEnv env(R"(
+.data
+vals: .word 0x40490fdb    # pi as float bits
+.text
+main:
+    la $t0, vals
+    lwc1 $f0, 0($t0)
+    mov.s $f1, $f0
+    swc1 $f1, 4($t0)
+    lw $s0, 4($t0)
+    c.eq.s $f0, $f1
+    bc1f bad
+    li $s1, 1
+bad:
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(16), 0x40490fdbu);
+    EXPECT_EQ(env.gpr(17), 1u);
+}
+
+TEST(Executor, SyscallPrintOutput)
+{
+    RunEnv env(R"(
+.data
+msg: .asciiz "sum="
+.text
+main:
+    li $v0, 4
+    la $a0, msg
+    syscall
+    li $v0, 1
+    li $a0, -42
+    syscall
+    li $v0, 11
+    li $a0, 10      # '\n'
+    syscall
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    EXPECT_EQ(env.exec.output(), "sum=-42\n");
+}
+
+TEST(Executor, StepRecordsDescribeControlFlow)
+{
+    RunEnv env(R"(
+main:
+    li $t0, 1
+    beq $t0, $zero, skip
+    addiu $t1, $zero, 5
+skip:
+    li $v0, 10
+    syscall
+)");
+    StepRecord r1 = env.exec.step(); // li
+    EXPECT_FALSE(r1.taken);
+    EXPECT_EQ(r1.nextPc, r1.pc + 4);
+    StepRecord r2 = env.exec.step(); // beq (not taken)
+    EXPECT_FALSE(r2.taken);
+    EXPECT_TRUE(r2.info->isControl);
+    StepRecord r3 = env.exec.step(); // addiu
+    EXPECT_EQ(r3.inst->op, Op::Addiu);
+}
+
+TEST(Executor, StepRecordMemAddr)
+{
+    RunEnv env(R"(
+.data
+x: .word 7
+.text
+main:
+    la $t0, x
+    lw $t1, 0($t0)
+    li $v0, 10
+    syscall
+)");
+    env.exec.step(); // lui
+    env.exec.step(); // ori
+    StepRecord lw = env.exec.step();
+    EXPECT_TRUE(lw.info->isMem);
+    EXPECT_EQ(lw.memAddr, kDataBase);
+    EXPECT_EQ(env.gpr(9), 7u);
+}
+
+TEST(Executor, HaltSetsFlagsAndRecord)
+{
+    RunEnv env("main:\n li $v0, 10\n syscall\n");
+    env.exec.step();
+    StepRecord r = env.exec.step();
+    EXPECT_TRUE(r.halted);
+    EXPECT_TRUE(env.exec.halted());
+    EXPECT_EQ(env.exec.instCount(), 2u);
+}
+
+TEST(Executor, ResetRestoresInitialState)
+{
+    RunEnv env("main:\n li $t0, 9\n li $v0, 10\n syscall\n");
+    env.run();
+    EXPECT_EQ(env.gpr(8), 9u);
+    env.exec.reset(env.prog);
+    EXPECT_FALSE(env.exec.halted());
+    EXPECT_EQ(env.exec.instCount(), 0u);
+    EXPECT_EQ(env.gpr(8), 0u);
+    EXPECT_EQ(env.exec.state().pc, env.prog.entry);
+    EXPECT_EQ(env.gpr(kRegSp), kStackTop);
+}
+
+TEST(Executor, JalSetsRaPastCall)
+{
+    RunEnv env(R"(
+main:
+    jal f
+    li $v0, 10
+    syscall
+f:  move $s0, $ra
+    jr $ra
+)");
+    env.run();
+    EXPECT_EQ(env.gpr(16), env.prog.symbol("main") + 4);
+}
+
+
+TEST(Executor, MixStatsCountClasses)
+{
+    RunEnv env(R"(
+.data
+b: .word 0
+.text
+main:
+    li $t0, 3          # IntAlu
+    la $t1, b          # 2x IntAlu (lui+ori)
+    lw $t2, 0($t1)     # Load
+    sw $t0, 0($t1)     # Store
+    mul $t3, $t0, $t0  # IntMult
+    jal f              # Jump
+    li $v0, 10
+    syscall            # Syscall
+f2: nop
+    jr $ra
+f:  beq $t0, $zero, f2 # Branch (not taken)
+    jr $ra             # JumpReg
+)");
+    env.run();
+    const Executor::MixStats &mix = env.exec.mix();
+    EXPECT_EQ(mix.of(InstClass::Load), 1u);
+    EXPECT_EQ(mix.of(InstClass::Store), 1u);
+    EXPECT_EQ(mix.of(InstClass::IntMult), 1u);
+    EXPECT_EQ(mix.of(InstClass::Jump), 1u);
+    EXPECT_EQ(mix.of(InstClass::Branch), 1u);
+    EXPECT_EQ(mix.of(InstClass::JumpReg), 1u);
+    EXPECT_EQ(mix.of(InstClass::Syscall), 1u);
+    EXPECT_EQ(mix.memOps(), 2u);
+    EXPECT_EQ(mix.controlOps(), 3u);
+    EXPECT_EQ(mix.total(), env.exec.instCount());
+}
+
+TEST(Executor, MixSharesSumToOne)
+{
+    RunEnv env(R"(
+main:
+    li $t0, 50
+loop:
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+    li $v0, 10
+    syscall
+)");
+    env.run();
+    const Executor::MixStats &mix = env.exec.mix();
+    double sum = 0;
+    for (int c = 0; c < 16; ++c)
+        sum += mix.share(static_cast<InstClass>(c));
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GT(mix.share(InstClass::Branch), 0.3);
+}
+
+} // namespace
+} // namespace cps

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * ISA encode/decode round-trip tests and instruction-attribute checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/isa.hh"
+
+namespace cps
+{
+namespace
+{
+
+/** Ops that use the full 3-register R-type shape. */
+const Op kRRR[] = {Op::Add, Op::Addu, Op::Sub, Op::Subu, Op::And, Op::Or,
+                   Op::Xor, Op::Nor, Op::Slt, Op::Sltu, Op::Sllv,
+                   Op::Srlv, Op::Srav, Op::Mul, Op::Mulu, Op::Div,
+                   Op::Divu, Op::Rem, Op::Remu};
+
+const Op kImmOps[] = {Op::Addi, Op::Addiu, Op::Slti, Op::Sltiu, Op::Andi,
+                      Op::Ori, Op::Xori};
+
+const Op kMemOps[] = {Op::Lb, Op::Lh, Op::Lw, Op::Lbu, Op::Lhu,
+                      Op::Sb, Op::Sh, Op::Sw, Op::Lwc1, Op::Swc1};
+
+const Op kBranchOps[] = {Op::Beq, Op::Bne, Op::Blez, Op::Bgtz, Op::Bltz,
+                         Op::Bgez, Op::Bc1t, Op::Bc1f};
+
+const Op kFp3[] = {Op::AddS, Op::SubS, Op::MulS, Op::DivS};
+const Op kFp2[] = {Op::AbsS, Op::NegS, Op::MovS, Op::CvtSW, Op::CvtWS};
+
+class RoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST(IsaRoundTrip, RRROps)
+{
+    Rng rng(1);
+    for (Op op : kRRR) {
+        for (int i = 0; i < 20; ++i) {
+            Inst in;
+            in.op = op;
+            in.rd = static_cast<u8>(rng.below(32));
+            in.rs = static_cast<u8>(rng.below(32));
+            in.rt = static_cast<u8>(rng.below(32));
+            u32 word = encode(in);
+            Inst out = decode(word);
+            EXPECT_EQ(out.op, op) << mnemonic(op);
+            EXPECT_EQ(out.rd, in.rd);
+            EXPECT_EQ(out.rs, in.rs);
+            EXPECT_EQ(out.rt, in.rt);
+        }
+    }
+}
+
+TEST(IsaRoundTrip, ShiftOps)
+{
+    Rng rng(2);
+    for (Op op : {Op::Sll, Op::Srl, Op::Sra}) {
+        for (int i = 0; i < 20; ++i) {
+            Inst in;
+            in.op = op;
+            in.rd = static_cast<u8>(rng.below(32));
+            in.rt = static_cast<u8>(rng.below(32));
+            in.shamt = static_cast<u8>(rng.below(32));
+            // sll $zero, $zero, 0 is the canonical NOP; skip it so the
+            // op compare below stays meaningful.
+            if (encode(in) == kNopWord)
+                continue;
+            Inst out = decode(encode(in));
+            EXPECT_EQ(out.op, op);
+            EXPECT_EQ(out.rd, in.rd);
+            EXPECT_EQ(out.rt, in.rt);
+            EXPECT_EQ(out.shamt, in.shamt);
+        }
+    }
+}
+
+TEST(IsaRoundTrip, ImmediateOps)
+{
+    Rng rng(3);
+    for (Op op : kImmOps) {
+        for (int i = 0; i < 20; ++i) {
+            Inst in;
+            in.op = op;
+            in.rt = static_cast<u8>(rng.below(32));
+            in.rs = static_cast<u8>(rng.below(32));
+            in.imm = static_cast<u16>(rng.next());
+            Inst out = decode(encode(in));
+            EXPECT_EQ(out.op, op);
+            EXPECT_EQ(out.rt, in.rt);
+            EXPECT_EQ(out.rs, in.rs);
+            EXPECT_EQ(out.imm, in.imm);
+        }
+    }
+}
+
+TEST(IsaRoundTrip, LuiIgnoresRs)
+{
+    Inst in;
+    in.op = Op::Lui;
+    in.rt = 5;
+    in.imm = 0x1234;
+    Inst out = decode(encode(in));
+    EXPECT_EQ(out.op, Op::Lui);
+    EXPECT_EQ(out.rt, 5);
+    EXPECT_EQ(out.imm, 0x1234);
+    EXPECT_EQ(out.rs, 0);
+}
+
+TEST(IsaRoundTrip, MemOps)
+{
+    Rng rng(4);
+    for (Op op : kMemOps) {
+        for (int i = 0; i < 20; ++i) {
+            Inst in;
+            in.op = op;
+            in.rt = static_cast<u8>(rng.below(32));
+            in.rs = static_cast<u8>(rng.below(32));
+            in.imm = static_cast<u16>(rng.next());
+            Inst out = decode(encode(in));
+            EXPECT_EQ(out.op, op) << mnemonic(op);
+            EXPECT_EQ(out.rt, in.rt);
+            EXPECT_EQ(out.rs, in.rs);
+            EXPECT_EQ(out.imm, in.imm);
+        }
+    }
+}
+
+TEST(IsaRoundTrip, Branches)
+{
+    Rng rng(5);
+    for (Op op : kBranchOps) {
+        for (int i = 0; i < 20; ++i) {
+            Inst in;
+            in.op = op;
+            bool uses_rs = op != Op::Bc1t && op != Op::Bc1f;
+            bool uses_rt = op == Op::Beq || op == Op::Bne;
+            if (uses_rs)
+                in.rs = static_cast<u8>(rng.below(32));
+            if (uses_rt)
+                in.rt = static_cast<u8>(rng.below(32));
+            in.imm = static_cast<u16>(rng.next());
+            Inst out = decode(encode(in));
+            EXPECT_EQ(out.op, op) << mnemonic(op);
+            EXPECT_EQ(out.imm, in.imm);
+            if (uses_rs) {
+                EXPECT_EQ(out.rs, in.rs);
+            }
+        }
+    }
+}
+
+TEST(IsaRoundTrip, Jumps)
+{
+    Rng rng(6);
+    for (Op op : {Op::J, Op::Jal}) {
+        for (int i = 0; i < 20; ++i) {
+            Inst in;
+            in.op = op;
+            in.target = static_cast<u32>(rng.next()) & 0x03ffffff;
+            Inst out = decode(encode(in));
+            EXPECT_EQ(out.op, op);
+            EXPECT_EQ(out.target, in.target);
+        }
+    }
+    Inst jr;
+    jr.op = Op::Jr;
+    jr.rs = 31;
+    EXPECT_EQ(decode(encode(jr)).op, Op::Jr);
+    EXPECT_EQ(decode(encode(jr)).rs, 31);
+
+    Inst jalr;
+    jalr.op = Op::Jalr;
+    jalr.rs = 9;
+    jalr.rd = 31;
+    Inst out = decode(encode(jalr));
+    EXPECT_EQ(out.op, Op::Jalr);
+    EXPECT_EQ(out.rs, 9);
+    EXPECT_EQ(out.rd, 31);
+}
+
+TEST(IsaRoundTrip, FpOps)
+{
+    Rng rng(7);
+    for (Op op : kFp3) {
+        Inst in;
+        in.op = op;
+        in.shamt = static_cast<u8>(rng.below(32)); // fd
+        in.rd = static_cast<u8>(rng.below(32));    // fs
+        in.rt = static_cast<u8>(rng.below(32));    // ft
+        Inst out = decode(encode(in));
+        EXPECT_EQ(out.op, op) << mnemonic(op);
+        EXPECT_EQ(out.shamt, in.shamt);
+        EXPECT_EQ(out.rd, in.rd);
+        EXPECT_EQ(out.rt, in.rt);
+    }
+    for (Op op : kFp2) {
+        Inst in;
+        in.op = op;
+        in.shamt = static_cast<u8>(rng.below(32));
+        in.rd = static_cast<u8>(rng.below(32));
+        Inst out = decode(encode(in));
+        EXPECT_EQ(out.op, op) << mnemonic(op);
+        EXPECT_EQ(out.shamt, in.shamt);
+        EXPECT_EQ(out.rd, in.rd);
+    }
+    for (Op op : {Op::CEqS, Op::CLtS, Op::CLeS, Op::Mtc1, Op::Mfc1}) {
+        Inst in;
+        in.op = op;
+        in.rd = static_cast<u8>(rng.below(32));
+        in.rt = static_cast<u8>(rng.below(32));
+        Inst out = decode(encode(in));
+        EXPECT_EQ(out.op, op) << mnemonic(op);
+        EXPECT_EQ(out.rd, in.rd);
+        EXPECT_EQ(out.rt, in.rt);
+    }
+}
+
+TEST(IsaRoundTrip, System)
+{
+    Inst sc;
+    sc.op = Op::Syscall;
+    EXPECT_EQ(decode(encode(sc)).op, Op::Syscall);
+    Inst brk;
+    brk.op = Op::Break;
+    EXPECT_EQ(decode(encode(brk)).op, Op::Break);
+}
+
+TEST(IsaDecode, NopIsSllZero)
+{
+    Inst nop = decode(kNopWord);
+    EXPECT_EQ(nop.op, Op::Sll);
+    EXPECT_EQ(analyze(nop).cls, InstClass::Nop);
+}
+
+TEST(IsaDecode, GarbageIsInvalid)
+{
+    // Primary opcode 63 is unassigned.
+    Inst bad = decode(0xfc000000);
+    EXPECT_EQ(bad.op, Op::Invalid);
+    EXPECT_EQ(analyze(bad).cls, InstClass::Invalid);
+}
+
+// ------------------------------------------------------------ analyze()
+
+TEST(IsaAnalyze, AluRegisters)
+{
+    Inst add;
+    add.op = Op::Addu;
+    add.rd = 3;
+    add.rs = 4;
+    add.rt = 5;
+    InstInfo info = analyze(add);
+    EXPECT_EQ(info.cls, InstClass::IntAlu);
+    EXPECT_EQ(info.dest, 3);
+    EXPECT_EQ(info.src1, 4);
+    EXPECT_EQ(info.src2, 5);
+    EXPECT_EQ(info.latency, 1u);
+    EXPECT_FALSE(info.isControl);
+    EXPECT_FALSE(info.isMem);
+}
+
+TEST(IsaAnalyze, WritesToZeroAreDiscarded)
+{
+    Inst add;
+    add.op = Op::Addu;
+    add.rd = 0;
+    add.rs = 4;
+    add.rt = 5;
+    EXPECT_EQ(analyze(add).dest, kRegNone);
+}
+
+TEST(IsaAnalyze, ReadsOfZeroDontTrack)
+{
+    Inst add;
+    add.op = Op::Addu;
+    add.rd = 1;
+    add.rs = 0;
+    add.rt = 0;
+    InstInfo info = analyze(add);
+    EXPECT_EQ(info.src1, kRegNone);
+    EXPECT_EQ(info.src2, kRegNone);
+}
+
+TEST(IsaAnalyze, LoadIsMemWithDest)
+{
+    Inst lw;
+    lw.op = Op::Lw;
+    lw.rt = 8;
+    lw.rs = 29;
+    InstInfo info = analyze(lw);
+    EXPECT_EQ(info.cls, InstClass::Load);
+    EXPECT_TRUE(info.isMem);
+    EXPECT_EQ(info.dest, 8);
+    EXPECT_EQ(info.src1, 29);
+}
+
+TEST(IsaAnalyze, StoreHasNoDest)
+{
+    Inst sw;
+    sw.op = Op::Sw;
+    sw.rt = 8;
+    sw.rs = 29;
+    InstInfo info = analyze(sw);
+    EXPECT_EQ(info.cls, InstClass::Store);
+    EXPECT_EQ(info.dest, kRegNone);
+    EXPECT_EQ(info.src1, 29);
+    EXPECT_EQ(info.src2, 8);
+}
+
+TEST(IsaAnalyze, FpRegistersLiveInUpperSpace)
+{
+    Inst add;
+    add.op = Op::AddS;
+    add.shamt = 2; // fd
+    add.rd = 4;    // fs
+    add.rt = 6;    // ft
+    InstInfo info = analyze(add);
+    EXPECT_EQ(info.cls, InstClass::FpAlu);
+    EXPECT_EQ(info.dest, kRegFprBase + 2);
+    EXPECT_EQ(info.src1, kRegFprBase + 4);
+    EXPECT_EQ(info.src2, kRegFprBase + 6);
+}
+
+TEST(IsaAnalyze, CompareWritesFcc)
+{
+    Inst c;
+    c.op = Op::CLtS;
+    c.rd = 1;
+    c.rt = 2;
+    EXPECT_EQ(analyze(c).dest, kRegFcc);
+    Inst b;
+    b.op = Op::Bc1t;
+    InstInfo info = analyze(b);
+    EXPECT_EQ(info.src1, kRegFcc);
+    EXPECT_TRUE(info.isControl);
+}
+
+TEST(IsaAnalyze, ControlClasses)
+{
+    Inst j;
+    j.op = Op::J;
+    EXPECT_EQ(analyze(j).cls, InstClass::Jump);
+    Inst jal;
+    jal.op = Op::Jal;
+    EXPECT_EQ(analyze(jal).dest, static_cast<int>(kRegRa));
+    Inst jr;
+    jr.op = Op::Jr;
+    jr.rs = 31;
+    EXPECT_EQ(analyze(jr).cls, InstClass::JumpReg);
+    Inst beq;
+    beq.op = Op::Beq;
+    beq.rs = 1;
+    beq.rt = 2;
+    EXPECT_EQ(analyze(beq).cls, InstClass::Branch);
+}
+
+TEST(IsaAnalyze, LatenciesMatchClasses)
+{
+    Inst mul;
+    mul.op = Op::Mul;
+    mul.rd = 1;
+    EXPECT_EQ(analyze(mul).latency, 3u);
+    Inst div;
+    div.op = Op::Div;
+    div.rd = 1;
+    EXPECT_EQ(analyze(div).latency, 20u);
+    Inst fdiv;
+    fdiv.op = Op::DivS;
+    EXPECT_EQ(analyze(fdiv).latency, 12u);
+    Inst fmul;
+    fmul.op = Op::MulS;
+    EXPECT_EQ(analyze(fmul).latency, 4u);
+}
+
+// ----------------------------------------------------------- mnemonics
+
+TEST(IsaNames, MnemonicLookupRoundTrips)
+{
+    for (unsigned i = 1; i < static_cast<unsigned>(Op::kNumOps); ++i) {
+        Op op = static_cast<Op>(i);
+        auto back = opFromMnemonic(mnemonic(op));
+        ASSERT_TRUE(back.has_value()) << mnemonic(op);
+        EXPECT_EQ(*back, op);
+    }
+    EXPECT_FALSE(opFromMnemonic("bogus").has_value());
+}
+
+TEST(IsaNames, GprNames)
+{
+    EXPECT_STREQ(gprName(0), "$zero");
+    EXPECT_STREQ(gprName(29), "$sp");
+    EXPECT_STREQ(gprName(31), "$ra");
+    EXPECT_STREQ(gprName(kRegAt), "$at");
+}
+
+TEST(IsaNames, Helpers)
+{
+    EXPECT_TRUE(isLink(Op::Jal));
+    EXPECT_TRUE(isLink(Op::Jalr));
+    EXPECT_FALSE(isLink(Op::Jr));
+    EXPECT_TRUE(isFp(Op::AddS));
+    EXPECT_TRUE(isFp(Op::Lwc1));
+    EXPECT_FALSE(isFp(Op::Lw));
+}
+
+/** Property: decode(encode(x)) == x for randomly generated valid insts. */
+TEST(IsaRoundTrip, RandomizedAllFormats)
+{
+    Rng rng(77);
+    std::vector<Op> all;
+    for (Op op : kRRR) all.push_back(op);
+    for (Op op : kImmOps) all.push_back(op);
+    for (Op op : kMemOps) all.push_back(op);
+    for (int i = 0; i < 2000; ++i) {
+        Inst in;
+        in.op = all[rng.below(all.size())];
+        in.rd = static_cast<u8>(rng.below(32));
+        in.rs = static_cast<u8>(rng.below(32));
+        in.rt = static_cast<u8>(rng.below(32));
+        in.imm = static_cast<u16>(rng.next());
+        u32 w1 = encode(in);
+        Inst mid = decode(w1);
+        u32 w2 = encode(mid);
+        EXPECT_EQ(w1, w2) << mnemonic(in.op);
+    }
+}
+
+} // namespace
+} // namespace cps

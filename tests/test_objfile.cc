@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Serialization tests: program objects (.cpo) and compressed images
+ * (.cpi) round-trip exactly, and corrupted inputs are rejected rather
+ * than crashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "asmkit/assembler.hh"
+#include "asmkit/objfile.hh"
+#include "codepack/decompressor.hh"
+#include "codepack/imagefile.hh"
+#include "progen/progen.hh"
+
+namespace cps
+{
+namespace
+{
+
+Program
+sampleProgram()
+{
+    return assembleOrDie(R"(
+.data
+msg: .asciiz "hello"
+tab: .word main, fn
+.text
+main:
+    jal fn
+    li $v0, 10
+    syscall
+fn:
+    addiu $v0, $zero, 7
+    jr $ra
+)");
+}
+
+TEST(ObjFile, EncodeDecodeRoundTrip)
+{
+    Program prog = sampleProgram();
+    auto bytes = encodeProgram(prog);
+    auto back = decodeProgram(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->entry, prog.entry);
+    EXPECT_EQ(back->text.base, prog.text.base);
+    EXPECT_EQ(back->text.bytes, prog.text.bytes);
+    EXPECT_EQ(back->data.base, prog.data.base);
+    EXPECT_EQ(back->data.bytes, prog.data.bytes);
+    EXPECT_EQ(back->symbols, prog.symbols);
+}
+
+TEST(ObjFile, FileRoundTrip)
+{
+    Program prog = sampleProgram();
+    std::string path = ::testing::TempDir() + "cps_test_prog.cpo";
+    ASSERT_TRUE(saveProgram(prog, path));
+    auto back = loadProgram(path);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->text.bytes, prog.text.bytes);
+    EXPECT_EQ(back->symbols.at("fn"), prog.symbols.at("fn"));
+    std::remove(path.c_str());
+}
+
+TEST(ObjFile, RejectsBadMagic)
+{
+    std::vector<u8> junk{'N', 'O', 'P', 'E', 0, 0, 0, 0, 1, 2, 3};
+    EXPECT_FALSE(decodeProgram(junk).has_value());
+}
+
+TEST(ObjFile, RejectsTruncation)
+{
+    Program prog = sampleProgram();
+    auto bytes = encodeProgram(prog);
+    for (size_t cut : {size_t{4}, bytes.size() / 2, bytes.size() - 1}) {
+        std::vector<u8> trunc(bytes.begin(),
+                              bytes.begin() + static_cast<long>(cut));
+        EXPECT_FALSE(decodeProgram(trunc).has_value()) << cut;
+    }
+}
+
+TEST(ObjFile, MissingFileIsNullopt)
+{
+    EXPECT_FALSE(loadProgram("/nonexistent/path/prog.cpo").has_value());
+}
+
+TEST(ObjFile, BenchmarkProgramRoundTrips)
+{
+    Program prog = generateProgram(findProfile("pegwit"));
+    auto back = decodeProgram(encodeProgram(prog));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->text.bytes, prog.text.bytes);
+    EXPECT_EQ(back->data.bytes.size(), prog.data.bytes.size());
+}
+
+// ------------------------------------------------------ image files
+
+TEST(ImageFile, EncodeDecodeRoundTrip)
+{
+    Program prog = generateProgram(findProfile("pegwit"));
+    codepack::CompressedImage img = codepack::compress(prog);
+    auto back = codepack::decodeImage(codepack::encodeImage(img));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->textBase, img.textBase);
+    EXPECT_EQ(back->origTextBytes, img.origTextBytes);
+    EXPECT_EQ(back->paddedInsns, img.paddedInsns);
+    EXPECT_EQ(back->bytes, img.bytes);
+    EXPECT_EQ(back->indexTable, img.indexTable);
+    EXPECT_EQ(back->comp.totalBits(), img.comp.totalBits());
+    EXPECT_EQ(back->highDict.totalEntries(),
+              img.highDict.totalEntries());
+    EXPECT_EQ(back->lowDict.totalEntries(), img.lowDict.totalEntries());
+}
+
+TEST(ImageFile, ReloadedImageDecompressesIdentically)
+{
+    Program prog = generateProgram(findProfile("pegwit"));
+    codepack::CompressedImage img = codepack::compress(prog);
+    auto back = codepack::decodeImage(codepack::encodeImage(img));
+    ASSERT_TRUE(back.has_value());
+    codepack::Decompressor a(img), b(*back);
+    EXPECT_EQ(a.decompressAll(), b.decompressAll());
+}
+
+TEST(ImageFile, FileRoundTrip)
+{
+    Program prog = sampleProgram();
+    codepack::CompressedImage img = codepack::compress(prog);
+    std::string path = ::testing::TempDir() + "cps_test_img.cpi";
+    ASSERT_TRUE(codepack::saveImage(img, path));
+    auto back = codepack::loadImage(path);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->bytes, img.bytes);
+    std::remove(path.c_str());
+}
+
+TEST(ImageFile, RejectsBadMagic)
+{
+    std::vector<u8> junk{'X', 'X', 'X', 'X', 0, 0, 0, 0};
+    EXPECT_FALSE(codepack::decodeImage(junk).has_value());
+}
+
+TEST(ImageFile, RejectsTruncation)
+{
+    Program prog = sampleProgram();
+    codepack::CompressedImage img = codepack::compress(prog);
+    auto bytes = codepack::encodeImage(img);
+    for (size_t cut : {size_t{10}, bytes.size() / 3, bytes.size() - 2}) {
+        std::vector<u8> trunc(bytes.begin(),
+                              bytes.begin() + static_cast<long>(cut));
+        EXPECT_FALSE(codepack::decodeImage(trunc).has_value()) << cut;
+    }
+}
+
+TEST(ImageFile, DictionaryReconstruction)
+{
+    using codepack::Dictionary;
+    std::vector<std::vector<u16>> entries(codepack::kNumHighBanks);
+    entries[0] = {0x1111, 0x2222};
+    entries[3] = {0x3333};
+    Dictionary d =
+        Dictionary::fromBankEntries(Dictionary::Kind::High, entries);
+    EXPECT_EQ(d.totalEntries(), 3u);
+    EXPECT_EQ(d.encode(0x1111).bank, 0u);
+    EXPECT_EQ(d.encode(0x1111).index, 0u);
+    EXPECT_EQ(d.encode(0x3333).bank, 3u);
+    EXPECT_TRUE(d.encode(0x4444).raw);
+    EXPECT_EQ(d.lookup(0, 1), 0x2222);
+}
+
+} // namespace
+} // namespace cps

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Fetch-path and data-path tests: I-cache miss handling with
+ * critical-word-first, line-fill word availability, D-cache write-back
+ * traffic, and wrong-path fetch simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/paths.hh"
+
+namespace cps
+{
+namespace
+{
+
+struct NativeEnv
+{
+    MainMemory mem;
+    StatSet stats;
+    NativeFetchPath fetch{CacheConfig{1024, 32, 2}, mem, stats};
+};
+
+TEST(NativeFetch, HitCostsNothing)
+{
+    NativeEnv env;
+    env.fetch.fetchWord(0x1000, 0); // miss + fill
+    // Far in the future, the line is resident: hits return 'now'.
+    EXPECT_EQ(env.fetch.fetchWord(0x1000, 500), 500u);
+    EXPECT_EQ(env.fetch.fetchWord(0x101c, 501), 501u);
+}
+
+TEST(NativeFetch, CriticalWordFirstOrdering)
+{
+    NativeEnv env;
+    // Miss on word 5 of the line: it arrives in the first beat (t=10);
+    // words 5,6,7 then wrap to 0..4.
+    Cycle first = env.fetch.fetchWord(0x1014, 0);
+    EXPECT_EQ(first, 10u);
+    // Delivery order 5,6,7,0,1,2,3,4 over beats 10,10,12,12,14,14,16,16.
+    EXPECT_EQ(env.fetch.fetchWord(0x1018, 10), 10u); // word 6, beat 0
+    EXPECT_EQ(env.fetch.fetchWord(0x101c, 10), 12u); // word 7, beat 1
+    EXPECT_EQ(env.fetch.fetchWord(0x1000, 10), 12u); // word 0, beat 1
+    EXPECT_EQ(env.fetch.fetchWord(0x1010, 10), 16u); // word 4, last
+}
+
+TEST(NativeFetch, MissOnWordZeroIsSequential)
+{
+    NativeEnv env;
+    EXPECT_EQ(env.fetch.fetchWord(0x2000, 0), 10u);
+    EXPECT_EQ(env.fetch.fetchWord(0x2004, 10), 10u);
+    EXPECT_EQ(env.fetch.fetchWord(0x2008, 10), 12u);
+    EXPECT_EQ(env.fetch.fetchWord(0x201c, 10), 16u);
+}
+
+TEST(NativeFetch, StatsCountLineAccessesNotWords)
+{
+    NativeEnv env;
+    env.fetch.fetchWord(0x1000, 0);
+    env.fetch.fetchWord(0x1004, 1);
+    env.fetch.fetchWord(0x1008, 2); // same line: one access
+    env.fetch.fetchWord(0x1020, 3); // new line
+    EXPECT_EQ(env.stats.value("icache.line_accesses"), 2u);
+    EXPECT_EQ(env.stats.value("icache.misses"), 2u);
+    // Returning to the first line counts again.
+    env.fetch.fetchWord(0x1000, 50);
+    EXPECT_EQ(env.stats.value("icache.line_accesses"), 3u);
+    EXPECT_EQ(env.stats.value("icache.misses"), 2u);
+}
+
+TEST(NativeFetch, ResetInvalidates)
+{
+    NativeEnv env;
+    env.fetch.fetchWord(0x1000, 0);
+    env.fetch.reset();
+    env.fetch.fetchWord(0x1000, 100);
+    EXPECT_EQ(env.stats.value("icache.misses"), 2u);
+}
+
+TEST(LineFillTracker, TracksOnlyTheRecordedLine)
+{
+    LineFillTracker t;
+    std::array<Cycle, 8> ready{10, 11, 12, 13, 14, 15, 16, 17};
+    t.record(0x1000, ready);
+    Cycle out = 0;
+    EXPECT_TRUE(t.lookup(0x1004, out));
+    EXPECT_EQ(out, 11u);
+    EXPECT_TRUE(t.lookup(0x101c, out));
+    EXPECT_EQ(out, 17u);
+    EXPECT_FALSE(t.lookup(0x1020, out));
+    t.clear();
+    EXPECT_FALSE(t.lookup(0x1000, out));
+}
+
+// ------------------------------------------------------------ DataPath
+
+struct DataEnv
+{
+    MainMemory mem;
+    StatSet stats;
+    DataPath data{CacheConfig{512, 16, 2}, mem, stats};
+};
+
+TEST(DataPath, HitLatencyIsOneCycle)
+{
+    DataEnv env;
+    env.data.access(0x100, false, 0); // miss, fills
+    Cycle ready = env.data.access(0x104, false, 100); // same 16B line
+    EXPECT_EQ(ready, 101u);
+}
+
+TEST(DataPath, LoadMissWaitsForLine)
+{
+    DataEnv env;
+    Cycle ready = env.data.access(0x100, false, 0);
+    // 16-byte line on a 64-bit bus: beats at 10, 12; +1 cache cycle.
+    EXPECT_EQ(ready, 13u);
+}
+
+TEST(DataPath, StoreMissDoesNotStallRequester)
+{
+    DataEnv env;
+    Cycle ready = env.data.access(0x200, true, 0);
+    EXPECT_EQ(ready, 1u); // accepted immediately (write buffer)
+    EXPECT_EQ(env.stats.value("dcache.misses"), 1u);
+    // The fill still occupied the channel.
+    EXPECT_GT(env.mem.busyUntil(), 0u);
+}
+
+TEST(DataPath, DirtyEvictionWritesBack)
+{
+    DataEnv env;
+    // 512B, 16B lines, 2-way -> 16 sets; same set: stride 256.
+    env.data.access(0x000, true, 0);   // dirty line A
+    env.data.access(0x100, false, 50); // line B, same set
+    EXPECT_EQ(env.stats.value("dcache.writebacks"), 0u);
+    env.data.access(0x200, false, 100); // evicts dirty A
+    EXPECT_EQ(env.stats.value("dcache.writebacks"), 1u);
+}
+
+TEST(DataPath, CleanEvictionNoWriteback)
+{
+    DataEnv env;
+    env.data.access(0x000, false, 0);
+    env.data.access(0x100, false, 50);
+    env.data.access(0x200, false, 100);
+    EXPECT_EQ(env.stats.value("dcache.writebacks"), 0u);
+}
+
+TEST(DataPath, StatsCountAccessesAndMisses)
+{
+    DataEnv env;
+    env.data.access(0x100, false, 0);
+    env.data.access(0x100, false, 20);
+    env.data.access(0x104, true, 40);
+    EXPECT_EQ(env.stats.value("dcache.accesses"), 3u);
+    EXPECT_EQ(env.stats.value("dcache.misses"), 1u);
+}
+
+// ------------------------------------------------------ wrong-path sim
+
+TEST(WrongPath, FetchesAndPollutes)
+{
+    NativeEnv env;
+    // Window of 30 cycles from t=0, width 4, starting at a cold line.
+    simulateWrongPath(env.fetch, 0x3000, 0x3000, 0x4000, 0, 30, 4);
+    // The first line missed and was filled (pollution happened).
+    EXPECT_GE(env.stats.value("icache.misses"), 1u);
+    EXPECT_TRUE(env.fetch.icache().probe(0x3000));
+}
+
+TEST(WrongPath, InvalidStartIsNoOp)
+{
+    NativeEnv env;
+    simulateWrongPath(env.fetch, kAddrInvalid, 0x3000, 0x4000, 0, 100, 4);
+    EXPECT_EQ(env.stats.value("icache.misses"), 0u);
+}
+
+TEST(WrongPath, StopsAtTextBounds)
+{
+    NativeEnv env;
+    // Start right at the last word: may fetch it, then must stop.
+    simulateWrongPath(env.fetch, 0x3ffc, 0x3000, 0x4000, 0, 1000, 4);
+    EXPECT_LE(env.stats.value("icache.misses"), 1u);
+    // Out-of-range start: nothing happens.
+    StatSet before;
+    simulateWrongPath(env.fetch, 0x5000, 0x3000, 0x4000, 0, 1000, 4);
+    EXPECT_LE(env.stats.value("icache.misses"), 1u);
+}
+
+TEST(WrongPath, RespectsTimeWindow)
+{
+    NativeEnv env;
+    // Zero-length window: nothing fetched.
+    simulateWrongPath(env.fetch, 0x3000, 0x3000, 0x4000, 50, 50, 4);
+    EXPECT_EQ(env.stats.value("icache.misses"), 0u);
+}
+
+TEST(WrongPath, OccupiesMemoryChannel)
+{
+    NativeEnv env;
+    simulateWrongPath(env.fetch, 0x3000, 0x3000, 0x4000, 0, 12, 4);
+    EXPECT_GT(env.mem.busyUntil(), 0u);
+}
+
+
+// --------------------------------------------- next-line prefetcher
+
+TEST(NativePrefetch, PrefetchesTheNextLine)
+{
+    MainMemory mem;
+    StatSet stats;
+    NativePrefetchFetchPath fetch(CacheConfig{1024, 32, 2}, mem, stats);
+    fetch.fetchWord(0x1000, 0); // miss: fills 0x1000 and prefetches 0x1020
+    EXPECT_EQ(stats.value("icache.misses"), 1u);
+    EXPECT_EQ(stats.value("icache.prefetches"), 1u);
+    EXPECT_TRUE(fetch.icache().probe(0x1020));
+    // The prefetched line costs no miss, only its arrival time.
+    Cycle ready = fetch.fetchWord(0x1020, 17);
+    EXPECT_EQ(stats.value("icache.misses"), 1u);
+    EXPECT_GE(ready, 17u);
+}
+
+TEST(NativePrefetch, PrefetchedWordsArriveAfterDemandLine)
+{
+    MainMemory mem;
+    StatSet stats;
+    NativePrefetchFetchPath fetch(CacheConfig{1024, 32, 2}, mem, stats);
+    Cycle demand = fetch.fetchWord(0x1000, 0);
+    EXPECT_EQ(demand, 10u);
+    // The prefetch burst queues behind the demand fill: its first word
+    // arrives at demand-done (16) + 10.
+    Cycle pre = fetch.fetchWord(0x1020, 10);
+    EXPECT_EQ(pre, 26u);
+}
+
+TEST(NativePrefetch, NoPrefetchWhenNextLineResident)
+{
+    MainMemory mem;
+    StatSet stats;
+    NativePrefetchFetchPath fetch(CacheConfig{1024, 32, 2}, mem, stats);
+    fetch.fetchWord(0x1000, 0);   // prefetches 0x1020
+    fetch.fetchWord(0x1020, 100); // hit
+    fetch.fetchWord(0x1040, 200); // miss: prefetches 0x1060
+    EXPECT_EQ(stats.value("icache.prefetches"), 2u);
+    fetch.fetchWord(0x1040, 300); // hit: no new prefetch
+    EXPECT_EQ(stats.value("icache.prefetches"), 2u);
+}
+
+TEST(NativePrefetch, OccupiesExtraBandwidth)
+{
+    MainMemory plain_mem, pf_mem;
+    StatSet s1, s2;
+    NativeFetchPath plain(CacheConfig{1024, 32, 2}, plain_mem, s1);
+    NativePrefetchFetchPath pf(CacheConfig{1024, 32, 2}, pf_mem, s2);
+    plain.fetchWord(0x1000, 0);
+    pf.fetchWord(0x1000, 0);
+    EXPECT_GT(pf_mem.busyUntil(), plain_mem.busyUntil());
+}
+
+} // namespace
+} // namespace cps

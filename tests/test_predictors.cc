@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Branch predictor tests: bimodal, gshare, hybrid, BTB and RAS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictors.hh"
+#include "common/rng.hh"
+
+namespace cps
+{
+namespace
+{
+
+TEST(Counter2, SaturatesBothEnds)
+{
+    Counter2 c;
+    for (int i = 0; i < 10; ++i)
+        c.train(true);
+    EXPECT_TRUE(c.taken());
+    c.train(false);
+    c.train(false);
+    EXPECT_FALSE(c.taken()); // two not-takens flip a saturated counter
+    for (int i = 0; i < 10; ++i)
+        c.train(false);
+    c.train(true);
+    EXPECT_FALSE(c.taken()); // one taken does not flip saturated-NT
+    c.train(true);
+    EXPECT_TRUE(c.taken());
+}
+
+TEST(Bimodal, LearnsBiasedBranch)
+{
+    BimodalPredictor p(2048);
+    Addr pc = 0x1000;
+    for (int i = 0; i < 10; ++i)
+        p.update(pc, true);
+    EXPECT_TRUE(p.predict(pc));
+    for (int i = 0; i < 10; ++i)
+        p.update(pc, false);
+    EXPECT_FALSE(p.predict(pc));
+}
+
+TEST(Bimodal, IndependentEntries)
+{
+    BimodalPredictor p(2048);
+    for (int i = 0; i < 10; ++i) {
+        p.update(0x1000, true);
+        p.update(0x1004, false);
+    }
+    EXPECT_TRUE(p.predict(0x1000));
+    EXPECT_FALSE(p.predict(0x1004));
+}
+
+TEST(Bimodal, CannotLearnAlternation)
+{
+    BimodalPredictor p(2048);
+    Addr pc = 0x2000;
+    int correct = 0;
+    bool dir = false;
+    for (int i = 0; i < 1000; ++i) {
+        dir = !dir;
+        correct += (p.predict(pc) == dir);
+        p.update(pc, dir);
+    }
+    // A 2-bit counter is near-chance on strict alternation.
+    EXPECT_LT(correct, 700);
+}
+
+TEST(Gshare, LearnsAlternationViaHistory)
+{
+    GsharePredictor p(14);
+    Addr pc = 0x2000;
+    bool dir = false;
+    int correct = 0;
+    for (int i = 0; i < 2000; ++i) {
+        dir = !dir;
+        bool pred = p.predict(pc);
+        if (i >= 1000)
+            correct += (pred == dir);
+        p.update(pc, dir);
+    }
+    EXPECT_GT(correct, 950); // near-perfect after warmup
+}
+
+TEST(Gshare, LearnsShortPeriodicPattern)
+{
+    GsharePredictor p(14);
+    Addr pc = 0x3000;
+    const bool pattern[] = {true, true, false, true, false};
+    int correct = 0;
+    for (int i = 0; i < 5000; ++i) {
+        bool dir = pattern[i % 5];
+        bool pred = p.predict(pc);
+        if (i >= 2000)
+            correct += (pred == dir);
+        p.update(pc, dir);
+    }
+    EXPECT_GT(correct, 2800); // > 93%
+}
+
+TEST(Hybrid, AtLeastAsGoodAsComponentsOnMixedWork)
+{
+    // A biased branch (bimodal wins) and an alternating branch (gshare
+    // wins): the meta chooser should track both.
+    HybridPredictor p(1024);
+    Addr biased = 0x4000, alt = 0x5000;
+    bool dir = false;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 4000; ++i) {
+        // biased branch, 95% taken
+        bool b = (i % 20) != 0;
+        if (i >= 2000) {
+            correct += (p.predict(biased) == b);
+            ++total;
+        }
+        p.update(biased, b);
+        dir = !dir;
+        if (i >= 2000) {
+            correct += (p.predict(alt) == dir);
+            ++total;
+        }
+        p.update(alt, dir);
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.90);
+}
+
+TEST(Predictors, DescribeStrings)
+{
+    EXPECT_NE(BimodalPredictor(2048).describe().find("bimodal"),
+              std::string::npos);
+    EXPECT_NE(GsharePredictor(14).describe().find("gshare"),
+              std::string::npos);
+    EXPECT_NE(HybridPredictor(1024).describe().find("hybrid"),
+              std::string::npos);
+}
+
+// -------------------------------------------------------------------- BTB
+
+TEST(Btb, MissReturnsInvalid)
+{
+    Btb btb;
+    EXPECT_EQ(btb.lookup(0x1000), kAddrInvalid);
+}
+
+TEST(Btb, StoresAndRefreshesTargets)
+{
+    Btb btb;
+    btb.update(0x1000, 0x2000);
+    EXPECT_EQ(btb.lookup(0x1000), 0x2000u);
+    btb.update(0x1000, 0x3000); // retarget
+    EXPECT_EQ(btb.lookup(0x1000), 0x3000u);
+}
+
+TEST(Btb, SetConflictEvictsLru)
+{
+    Btb btb(8, 2); // 4 sets, 2 ways
+    // All these PCs map to set 0 (pc>>2 & 3 == 0).
+    btb.update(0x00, 0x100);
+    btb.update(0x10, 0x200);
+    EXPECT_EQ(btb.lookup(0x00), 0x100u); // refresh
+    btb.update(0x20, 0x300);             // evicts 0x10
+    EXPECT_EQ(btb.lookup(0x00), 0x100u);
+    EXPECT_EQ(btb.lookup(0x10), kAddrInvalid);
+    EXPECT_EQ(btb.lookup(0x20), 0x300u);
+}
+
+TEST(Btb, ManyEntriesNoInterference)
+{
+    Btb btb(512, 4);
+    for (u32 i = 0; i < 256; ++i)
+        btb.update(0x1000 + i * 4, 0x9000 + i * 4);
+    for (u32 i = 0; i < 256; ++i)
+        EXPECT_EQ(btb.lookup(0x1000 + i * 4), 0x9000u + i * 4);
+}
+
+// -------------------------------------------------------------------- RAS
+
+TEST(Ras, PopEmptyReturnsInvalid)
+{
+    ReturnAddressStack ras(8);
+    EXPECT_EQ(ras.pop(), kAddrInvalid);
+}
+
+TEST(Ras, LifoOrder)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_EQ(ras.pop(), kAddrInvalid);
+}
+
+TEST(Ras, OverflowWrapsDroppingOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300); // drops 0x100
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), kAddrInvalid);
+}
+
+TEST(Ras, CallReturnNesting)
+{
+    ReturnAddressStack ras(8);
+    // main -> a -> b; returns unwind correctly.
+    ras.push(0x1004); // call a
+    ras.push(0x2008); // call b
+    EXPECT_EQ(ras.pop(), 0x2008u); // ret from b
+    ras.push(0x200c); // call c
+    EXPECT_EQ(ras.pop(), 0x200cu);
+    EXPECT_EQ(ras.pop(), 0x1004u); // ret from a
+}
+
+} // namespace
+} // namespace cps

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the deterministic RNG every stochastic component relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace cps
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedWorks)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(8);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        u64 v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        hit_lo |= (v == 3);
+        hit_hi |= (v == 6);
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChancePercentExtremes)
+{
+    Rng r(10);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chancePercent(0));
+        EXPECT_TRUE(r.chancePercent(100));
+    }
+}
+
+TEST(Rng, ChancePercentApproximatesRate)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.chancePercent(30);
+    EXPECT_NEAR(hits / 100000.0, 0.30, 0.01);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng r(12);
+    std::vector<u32> weights{1, 0, 3};
+    int counts[3] = {};
+    for (int i = 0; i < 40000; ++i)
+        ++counts[r.weighted(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[2] / static_cast<double>(counts[0]), 3.0, 0.3);
+}
+
+TEST(Rng, SkewedRangeBounds)
+{
+    Rng r(13);
+    for (int i = 0; i < 10000; ++i) {
+        u64 v = r.skewedRange(4, 64);
+        EXPECT_GE(v, 4u);
+        EXPECT_LE(v, 64u);
+    }
+}
+
+TEST(Rng, SkewedRangeFavoursSmallValues)
+{
+    Rng r(14);
+    u64 below_mid = 0, n = 20000;
+    for (u64 i = 0; i < n; ++i)
+        below_mid += r.skewedRange(0, 100) < 50;
+    EXPECT_GT(below_mid, n * 6 / 10); // strongly skewed toward 0
+}
+
+} // namespace
+} // namespace cps

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the statistics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace cps
+{
+namespace
+{
+
+TEST(Stats, CountersStartAtZero)
+{
+    StatSet s;
+    EXPECT_EQ(s.scalar("a").value(), 0u);
+    EXPECT_EQ(s.value("a"), 0u);
+}
+
+TEST(Stats, IncAndSet)
+{
+    StatSet s;
+    Counter &c = s.scalar("x");
+    c.inc();
+    c.inc(10);
+    EXPECT_EQ(s.value("x"), 11u);
+    c.set(3);
+    EXPECT_EQ(s.value("x"), 3u);
+}
+
+TEST(Stats, ReferencesAreStable)
+{
+    StatSet s;
+    Counter &a = s.scalar("a");
+    // Creating many more counters must not invalidate 'a'.
+    for (int i = 0; i < 1000; ++i)
+        s.scalar(strfmt("c%d", i));
+    a.inc(5);
+    EXPECT_EQ(s.value("a"), 5u);
+}
+
+TEST(Stats, UnknownCounterReadsZero)
+{
+    StatSet s;
+    EXPECT_EQ(s.value("never"), 0u);
+    EXPECT_FALSE(s.has("never"));
+    s.scalar("known");
+    EXPECT_TRUE(s.has("known"));
+}
+
+TEST(Stats, RatioHandlesZeroDenominator)
+{
+    StatSet s;
+    s.scalar("num").set(5);
+    EXPECT_EQ(s.ratio("num", "den"), 0.0);
+    s.scalar("den").set(10);
+    EXPECT_DOUBLE_EQ(s.ratio("num", "den"), 0.5);
+}
+
+TEST(Stats, ResetAllZeroesEverything)
+{
+    StatSet s;
+    s.scalar("a").set(1);
+    s.scalar("b").set(2);
+    s.resetAll();
+    EXPECT_EQ(s.value("a"), 0u);
+    EXPECT_EQ(s.value("b"), 0u);
+}
+
+TEST(Stats, SnapshotIsSortedByName)
+{
+    StatSet s;
+    s.scalar("zeta").set(1);
+    s.scalar("alpha").set(2);
+    s.scalar("mid").set(3);
+    auto snap = s.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].first, "alpha");
+    EXPECT_EQ(snap[1].first, "mid");
+    EXPECT_EQ(snap[2].first, "zeta");
+}
+
+} // namespace
+} // namespace cps

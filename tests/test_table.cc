@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the table formatter used by every benchmark binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace cps
+{
+namespace
+{
+
+TEST(Table, GroupedInsertsThousandsSeparators)
+{
+    EXPECT_EQ(TextTable::grouped(0), "0");
+    EXPECT_EQ(TextTable::grouped(999), "999");
+    EXPECT_EQ(TextTable::grouped(1000), "1,000");
+    EXPECT_EQ(TextTable::grouped(1083808), "1,083,808");
+    EXPECT_EQ(TextTable::grouped(1234567890ull), "1,234,567,890");
+}
+
+TEST(Table, PctFormats)
+{
+    EXPECT_EQ(TextTable::pct(0.605), "60.5%");
+    EXPECT_EQ(TextTable::pct(0.0), "0.0%");
+    EXPECT_EQ(TextTable::pct(1.0), "100.0%");
+    EXPECT_EQ(TextTable::pct(0.12345, 2), "12.35%");
+}
+
+TEST(Table, FmtDecimals)
+{
+    EXPECT_EQ(TextTable::fmt(1.2345), "1.23");
+    EXPECT_EQ(TextTable::fmt(1.2345, 3), "1.234"); // banker's-free trunc
+    EXPECT_EQ(TextTable::fmt(2.0, 1), "2.0");
+}
+
+TEST(Table, RenderAlignsColumns)
+{
+    TextTable t;
+    t.addHeader({"Bench", "Value"});
+    t.addRow({"cc1", "1"});
+    t.addRow({"longername", "22222"});
+    std::string out = t.render();
+    // Every data line has the same length.
+    size_t first_nl = out.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < out.size()) {
+        size_t nl = out.find('\n', pos);
+        lines.push_back(out.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    // header, rule, row, row
+    ASSERT_GE(lines.size(), 4u);
+    EXPECT_EQ(lines[0].size(), lines[2].size());
+    EXPECT_EQ(lines[2].size(), lines[3].size());
+}
+
+TEST(Table, TitleAppearsFirst)
+{
+    TextTable t;
+    t.setTitle("Table 3");
+    t.addRow({"a", "b"});
+    std::string out = t.render();
+    EXPECT_EQ(out.rfind("Table 3", 0), 0u);
+}
+
+TEST(Table, RaggedRowsPrintEmptyCells)
+{
+    TextTable t;
+    t.addHeader({"a", "b", "c"});
+    t.addRow({"x"});
+    std::string out = t.render();
+    EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(Table, RuleSpansWidth)
+{
+    TextTable t;
+    t.addRow({"aaaa", "bbbb"});
+    t.addRule();
+    t.addRow({"c", "d"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+
+TEST(Table, CsvRendering)
+{
+    TextTable t;
+    t.setTitle("Title");
+    t.addHeader({"a", "b"});
+    t.addRow({"x", "1,234"});
+    t.addRule();
+    t.addRow({"y", "2"});
+    std::string csv = t.renderCsv();
+    EXPECT_EQ(csv, "# Title\na,b\nx,\"1,234\"\ny,2\n");
+}
+
+TEST(Table, CsvSkipsRules)
+{
+    TextTable t;
+    t.addRow({"a"});
+    t.addRule();
+    std::string csv = t.renderCsv();
+    EXPECT_EQ(csv.find('-'), std::string::npos);
+}
+
+} // namespace
+} // namespace cps
