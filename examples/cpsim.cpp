@@ -127,9 +127,11 @@ main(int argc, char **argv)
     const codepack::CompressedImage *image_ptr = nullptr;
     if (model != CodeModel::Native) {
         if (!image_path.empty()) {
-            auto loaded = codepack::loadImage(image_path);
+            auto loaded = codepack::loadImageChecked(image_path);
             if (!loaded)
-                cps_fatal("cannot load image '%s'", image_path.c_str());
+                cps_fatal("cannot load image '%s': %s",
+                          image_path.c_str(),
+                          loaded.error().describe().c_str());
             image = std::move(*loaded);
         } else {
             image = codepack::compress(prog);

@@ -8,11 +8,16 @@ namespace cps
 namespace codepack
 {
 
-DecodedBlock
-Decompressor::decompressBlock(u32 group, u32 block) const
+Result<DecodedBlock>
+Decompressor::tryDecompressBlock(u32 group, u32 block) const
 {
-    cps_assert(group < img_.numGroups(), "group %u out of range", group);
-    cps_assert(block < kBlocksPerGroup, "block %u out of range", block);
+    if (group >= img_.numGroups())
+        return decodeErrorAtByte(DecodeStatus::RangeError, 0,
+                                 "group %u out of range (image has %u)",
+                                 group, img_.numGroups());
+    if (block >= kBlocksPerGroup)
+        return decodeErrorAtByte(DecodeStatus::RangeError, 0,
+                                 "block %u out of range", block);
 
     u32 entry = img_.indexTable[group];
     DecodedBlock out;
@@ -33,10 +38,21 @@ Decompressor::decompressBlock(u32 group, u32 block) const
         out.byteLen = out.raw ? kRawBlockBytes : 0;
     }
 
-    cps_assert(out.byteOffset <= img_.bytes.size(),
-               "block offset beyond compressed region");
+    if (out.byteOffset > img_.bytes.size())
+        return decodeErrorAtByte(
+            DecodeStatus::RangeError, out.byteOffset,
+            "group %u block %u offset %u beyond compressed region "
+            "(%zu bytes)",
+            group, block, out.byteOffset, img_.bytes.size());
 
     if (out.raw) {
+        if (out.byteOffset + kRawBlockBytes > img_.bytes.size())
+            return decodeErrorAtByte(
+                DecodeStatus::Truncated, out.byteOffset,
+                "group %u block %u raw extent [%u, %u) beyond "
+                "compressed region (%zu bytes)",
+                group, block, out.byteOffset,
+                out.byteOffset + kRawBlockBytes, img_.bytes.size());
         const u8 *p = img_.bytes.data() + out.byteOffset;
         for (unsigned i = 0; i < kBlockInsns; ++i) {
             out.words[i] = static_cast<u32>(p[i * 4]) |
@@ -51,20 +67,53 @@ Decompressor::decompressBlock(u32 group, u32 block) const
     BitReader br(img_.bytes.data() + out.byteOffset,
                  img_.bytes.size() - out.byteOffset);
     for (unsigned i = 0; i < kBlockInsns; ++i) {
-        u16 hi = img_.highDict.read(br);
-        u16 lo = img_.lowDict.read(br);
-        out.words[i] = (static_cast<u32>(hi) << 16) | lo;
+        Result<u16> hi = img_.highDict.tryRead(br);
+        if (!hi) {
+            DecodeError err = hi.error();
+            err.bitOffset += u64{out.byteOffset} * 8;
+            err.message = strfmt("group %u block %u insn %u: %s", group,
+                                 block, i, err.message.c_str());
+            return err;
+        }
+        Result<u16> lo = img_.lowDict.tryRead(br);
+        if (!lo) {
+            DecodeError err = lo.error();
+            err.bitOffset += u64{out.byteOffset} * 8;
+            err.message = strfmt("group %u block %u insn %u: %s", group,
+                                 block, i, err.message.c_str());
+            return err;
+        }
+        out.words[i] = (static_cast<u32>(*hi) << 16) | *lo;
         out.endBit[i] = static_cast<u32>(br.bitPos());
     }
     u32 used_bytes = static_cast<u32>((br.bitPos() + 7) / 8);
     if (block == 0) {
-        cps_assert(out.byteLen == used_bytes,
-                   "index entry length %u disagrees with decode %u",
-                   out.byteLen, used_bytes);
+        // Cross-check: the index entry's second-block offset doubles as
+        // the first block's length. A disagreement means either the
+        // entry or the stream is corrupt.
+        if (out.byteLen != used_bytes)
+            return decodeErrorAtByte(
+                DecodeStatus::Malformed,
+                u64{out.byteOffset} + used_bytes,
+                "group %u: index entry says first block is %u bytes "
+                "but decode consumed %u",
+                group, out.byteLen, used_bytes);
     } else {
         out.byteLen = used_bytes;
     }
     return out;
+}
+
+DecodedBlock
+Decompressor::decompressBlock(u32 group, u32 block) const
+{
+    Result<DecodedBlock> r = tryDecompressBlock(group, block);
+    // Trusted path: the image was produced in-process, so failure here
+    // is a simulator bug, not bad input.
+    if (!r)
+        cps_panic("decompressBlock on corrupt image: %s",
+                  r.error().describe().c_str());
+    return *r;
 }
 
 std::vector<u32>
@@ -80,6 +129,80 @@ Decompressor::decompressAll() const
     }
     out.resize(img_.origTextBytes / 4); // drop the NOP padding
     return out;
+}
+
+Result<std::vector<u32>>
+Decompressor::tryDecompressAll() const
+{
+    Result<void> valid = validateImage(img_);
+    if (!valid)
+        return valid.error();
+    std::vector<u32> out;
+    out.reserve(img_.paddedInsns);
+    for (u32 g = 0; g < img_.numGroups(); ++g) {
+        for (u32 b = 0; b < kBlocksPerGroup; ++b) {
+            Result<DecodedBlock> blk = tryDecompressBlock(g, b);
+            if (!blk)
+                return blk.error();
+            out.insert(out.end(), blk->words.begin(), blk->words.end());
+        }
+    }
+    out.resize(img_.origTextBytes / 4); // drop the NOP padding
+    return out;
+}
+
+Result<void>
+validateImage(const CompressedImage &img)
+{
+    if (img.paddedInsns % kGroupInsns != 0)
+        return decodeErrorAtByte(DecodeStatus::BadHeader, 0,
+                                 "paddedInsns %u is not a multiple of "
+                                 "the group size %u",
+                                 img.paddedInsns, kGroupInsns);
+    u32 groups = img.paddedInsns / kGroupInsns;
+    if (img.numGroups() != groups)
+        return decodeErrorAtByte(DecodeStatus::BadHeader, 0,
+                                 "index table has %u entries for %u "
+                                 "groups",
+                                 img.numGroups(), groups);
+    if (!img.blocks.empty() &&
+        img.blocks.size() != size_t{groups} * kBlocksPerGroup)
+        return decodeErrorAtByte(DecodeStatus::BadHeader, 0,
+                                 "%zu block extents for %u groups",
+                                 img.blocks.size(), groups);
+    if (img.origTextBytes % 4 != 0 ||
+        img.origTextBytes > u64{img.paddedInsns} * 4)
+        return decodeErrorAtByte(DecodeStatus::BadHeader, 0,
+                                 "origTextBytes %u inconsistent with "
+                                 "%u padded instructions",
+                                 img.origTextBytes, img.paddedInsns);
+    if (img.textBase % 4 != 0)
+        return decodeErrorAtByte(DecodeStatus::BadHeader, 0,
+                                 "text base 0x%x is not word aligned",
+                                 img.textBase);
+
+    for (u32 g = 0; g < groups; ++g) {
+        u32 entry = img.indexTable[g];
+        u64 first = idxFirstOffset(entry);
+        u64 second = first + idxSecondOffset(entry);
+        if (first > img.bytes.size() || second > img.bytes.size())
+            return decodeErrorAtByte(
+                DecodeStatus::RangeError, first,
+                "index entry %u points beyond the compressed region "
+                "(%zu bytes)",
+                g, img.bytes.size());
+    }
+    for (size_t i = 0; i < img.blocks.size(); ++i) {
+        const BlockExtent &b = img.blocks[i];
+        if (u64{b.byteOffset} + b.byteLen > img.bytes.size())
+            return decodeErrorAtByte(
+                DecodeStatus::RangeError, b.byteOffset,
+                "block extent %zu [%u, %u) beyond the compressed "
+                "region (%zu bytes)",
+                i, b.byteOffset, b.byteOffset + b.byteLen,
+                img.bytes.size());
+    }
+    return {};
 }
 
 } // namespace codepack

@@ -11,6 +11,7 @@
 #include <array>
 #include <vector>
 
+#include "common/result.hh"
 #include "common/types.hh"
 #include "compressor.hh"
 
@@ -43,8 +44,21 @@ class Decompressor
     /**
      * Decompresses block @p block (0/1) of compression group @p group.
      * Walks the index table exactly as the hardware would.
+     *
+     * Trusted-input variant: any malformation panics. The simulator's
+     * hot path uses this on images it compressed itself; anything that
+     * came off disk should be decoded via tryDecompressBlock (or fully
+     * vetted with tryDecompressAll once at load).
      */
     DecodedBlock decompressBlock(u32 group, u32 block) const;
+
+    /**
+     * Checked variant for untrusted images: an out-of-range index
+     * entry, truncated codeword, or length cross-check failure comes
+     * back as a structured DecodeError (bit offsets are absolute
+     * within the compressed byte region) instead of aborting.
+     */
+    Result<DecodedBlock> tryDecompressBlock(u32 group, u32 block) const;
 
     /** Decompresses the flat block number @p flat_block. */
     DecodedBlock
@@ -57,11 +71,27 @@ class Decompressor
     /** Decompresses the whole image back to instruction words. */
     std::vector<u32> decompressAll() const;
 
+    /**
+     * Checked whole-image decode: validates the image structure, then
+     * decodes every block through the checked path. The error carries
+     * the first failing group/block in its message.
+     */
+    Result<std::vector<u32>> tryDecompressAll() const;
+
     const CompressedImage &image() const { return img_; }
 
   private:
     const CompressedImage &img_;
 };
+
+/**
+ * Structural validation of a decoded image: header-field consistency
+ * (group/block counts vs paddedInsns, origTextBytes within the padded
+ * region) and every index-table entry and block extent within the
+ * compressed byte region. Does not decode codewords — use
+ * Decompressor::tryDecompressAll for a full vet.
+ */
+Result<void> validateImage(const CompressedImage &img);
 
 } // namespace codepack
 } // namespace cps

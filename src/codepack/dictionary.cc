@@ -171,6 +171,61 @@ Dictionary::read(BitReader &br) const
     return lookup(bank, index);
 }
 
+Result<u16>
+Dictionary::tryRead(BitReader &br) const
+{
+    // Mirrors read() exactly, but every get() is a checked tryRead and
+    // every lookup is range-checked: this is the path fed by images we
+    // did not produce ourselves.
+    auto underrun = [&]() {
+        return decodeErrorAtBit(DecodeStatus::Truncated, br.bitPos(),
+                                "codeword truncated: %s dictionary "
+                                "needed more bits",
+                                kind_ == Kind::High ? "high" : "low");
+    };
+    auto checkedLookup = [&](unsigned bank, u32 index) -> Result<u16> {
+        if (index >= entries_[bank].size())
+            return decodeErrorAtBit(
+                DecodeStatus::RangeError, br.bitPos(),
+                "%s dictionary bank %u index %u beyond population %zu",
+                kind_ == Kind::High ? "high" : "low", bank, index,
+                entries_[bank].size());
+        return entries_[bank][index];
+    };
+
+    u32 two = 0;
+    if (!br.tryRead(2, two))
+        return underrun();
+    if (two == 0b11) {
+        u32 third = 0;
+        if (!br.tryRead(1, third))
+            return underrun();
+        if (third == 1) {
+            u32 raw = 0;
+            if (!br.tryRead(kRawLiteralBits, raw))
+                return underrun();
+            return static_cast<u16>(raw);
+        }
+        unsigned bank = numBanks_ - 1;
+        u32 index = 0;
+        if (!br.tryRead(banks_[bank].indexBits, index))
+            return underrun();
+        return checkedLookup(bank, index);
+    }
+    unsigned bank;
+    if (kind_ == Kind::Low) {
+        if (two == kTag0)
+            return static_cast<u16>(0);
+        bank = (two == kTag1) ? 0 : 1;
+    } else {
+        bank = two;
+    }
+    u32 index = 0;
+    if (!br.tryRead(banks_[bank].indexBits, index))
+        return underrun();
+    return checkedLookup(bank, index);
+}
+
 const std::vector<u16> &
 Dictionary::bankEntries(unsigned bank) const
 {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bitstream.hh"
+#include "common/result.hh"
 #include "common/types.hh"
 #include "format.hh"
 
@@ -96,6 +97,15 @@ class Dictionary
 
     /** Decodes one halfword from @p br (tag first, then index/raw). */
     u16 read(BitReader &br) const;
+
+    /**
+     * Checked variant of read() for untrusted bitstreams: a truncated
+     * codeword or a dictionary index beyond a bank's population comes
+     * back as a structured error (with the failing bit offset) instead
+     * of an assert. On error the reader cursor is left wherever the
+     * failure was detected.
+     */
+    Result<u16> tryRead(BitReader &br) const;
 
     /** Entries of bank @p bank (for dumps and tests). */
     const std::vector<u16> &bankEntries(unsigned bank) const;

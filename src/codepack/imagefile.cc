@@ -1,7 +1,9 @@
 #include "imagefile.hh"
 
 #include "common/byteio.hh"
+#include "common/crc32.hh"
 #include "common/logging.hh"
+#include "decompressor.hh"
 
 namespace cps
 {
@@ -11,7 +13,9 @@ namespace codepack
 namespace
 {
 
-constexpr char kMagic[8] = {'C', 'P', 'S', 'C', 'P', 'K', '1', '\0'};
+constexpr char kMagic[8] = {'C', 'P', 'S', 'C', 'P', 'K', '2', '\0'};
+constexpr size_t kMagicPrefixLen = 6; // "CPSCPK", before the version char
+constexpr char kFormatVersion = '2';
 
 void
 putDictionary(std::vector<u8> &out, const Dictionary &dict)
@@ -25,27 +29,81 @@ putDictionary(std::vector<u8> &out, const Dictionary &dict)
     }
 }
 
-std::optional<Dictionary>
-getDictionary(ByteCursor &cur, Dictionary::Kind kind)
+/** Appends the CRC-32 of out[section_start..] (the section payload). */
+void
+sealSection(std::vector<u8> &out, size_t section_start)
 {
+    u32 crc = crc32(out.data() + section_start,
+                    out.size() - section_start);
+    put32(out, crc);
+}
+
+/**
+ * Reads and verifies the u32 CRC that closes the section beginning at
+ * @p section_start. @p what names the section for diagnostics.
+ */
+Result<void>
+checkSection(ByteCursor &cur, const std::vector<u8> &bytes,
+             size_t section_start, const char *what,
+             const ImageLoadOptions &opts)
+{
+    size_t payload_end = cur.pos();
+    u32 stored = cur.get32();
+    if (!cur.ok())
+        return decodeErrorAtByte(DecodeStatus::Truncated, payload_end,
+                                 "file ends inside the %s CRC", what);
+    if (!opts.verifyCrc)
+        return {};
+    u32 actual = crc32(bytes.data() + section_start,
+                       payload_end - section_start);
+    if (actual != stored)
+        return decodeErrorAtByte(DecodeStatus::BadCrc, section_start,
+                                 "%s CRC mismatch: stored 0x%08x, "
+                                 "computed 0x%08x",
+                                 what, stored, actual);
+    return {};
+}
+
+Result<Dictionary>
+getDictionaryChecked(ByteCursor &cur, Dictionary::Kind kind)
+{
+    const char *what = kind == Dictionary::Kind::High ? "high" : "low";
+    size_t at = cur.pos();
     unsigned banks = cur.get8();
     unsigned expect = kind == Dictionary::Kind::High ? kNumHighBanks
                                                      : kNumLowBanks;
-    if (!cur.ok() || banks != expect)
-        return std::nullopt;
+    if (!cur.ok())
+        return decodeErrorAtByte(DecodeStatus::Truncated, at,
+                                 "file ends at the %s dictionary bank "
+                                 "count", what);
+    if (banks != expect)
+        return decodeErrorAtByte(DecodeStatus::Malformed, at,
+                                 "%s dictionary declares %u banks, "
+                                 "format has %u", what, banks, expect);
     std::vector<std::vector<u16>> entries(banks);
     const Bank *bank_desc =
         kind == Dictionary::Kind::High ? kHighBanks : kLowBanks;
     for (unsigned b = 0; b < banks; ++b) {
+        at = cur.pos();
         u16 count = cur.get16();
-        if (!cur.ok() || count > bank_desc[b].entries())
-            return std::nullopt;
+        if (!cur.ok())
+            return decodeErrorAtByte(DecodeStatus::Truncated, at,
+                                     "file ends at %s dictionary bank "
+                                     "%u entry count", what, b);
+        if (count > bank_desc[b].entries())
+            return decodeErrorAtByte(
+                DecodeStatus::RangeError, at,
+                "%s dictionary bank %u declares %u entries, bank "
+                "holds %u", what, b, count, bank_desc[b].entries());
+        if (size_t{count} * 2 > cur.remaining())
+            return decodeErrorAtByte(
+                DecodeStatus::Truncated, at,
+                "%s dictionary bank %u declares %u entries but only "
+                "%zu bytes remain", what, b, count, cur.remaining());
         entries[b].reserve(count);
         for (u16 i = 0; i < count; ++i)
             entries[b].push_back(cur.get16());
     }
-    if (!cur.ok())
-        return std::nullopt;
     return Dictionary::fromBankEntries(kind, entries);
 }
 
@@ -57,27 +115,39 @@ encodeImage(const CompressedImage &img)
     std::vector<u8> out;
     for (char c : kMagic)
         out.push_back(static_cast<u8>(c));
+
+    size_t start = out.size();
     put32(out, img.textBase);
     put32(out, img.origTextBytes);
     put32(out, img.paddedInsns);
+    sealSection(out, start);
 
+    start = out.size();
     put32(out, static_cast<u32>(img.indexTable.size()));
     for (u32 e : img.indexTable)
         put32(out, e);
+    sealSection(out, start);
 
+    start = out.size();
     put32(out, static_cast<u32>(img.bytes.size()));
     out.insert(out.end(), img.bytes.begin(), img.bytes.end());
+    sealSection(out, start);
 
+    start = out.size();
     putDictionary(out, img.highDict);
     putDictionary(out, img.lowDict);
+    sealSection(out, start);
 
+    start = out.size();
     put32(out, static_cast<u32>(img.blocks.size()));
     for (const BlockExtent &b : img.blocks) {
         put32(out, b.byteOffset);
         put32(out, b.byteLen);
         put8(out, b.raw ? 1 : 0);
     }
+    sealSection(out, start);
 
+    start = out.size();
     put64(out, img.comp.indexTableBits);
     put64(out, img.comp.dictionaryBits);
     put64(out, img.comp.compressedTagBits);
@@ -85,41 +155,129 @@ encodeImage(const CompressedImage &img)
     put64(out, img.comp.rawTagBits);
     put64(out, img.comp.rawBits);
     put64(out, img.comp.padBits);
+    sealSection(out, start);
     return out;
 }
 
-std::optional<CompressedImage>
-decodeImage(const std::vector<u8> &bytes)
+Result<CompressedImage>
+decodeImageChecked(const std::vector<u8> &bytes,
+                   const ImageLoadOptions &opts)
 {
     ByteCursor cur(bytes);
-    if (!cur.expectMagic(kMagic, sizeof(kMagic)))
-        return std::nullopt;
+
+    // Magic and version, diagnosed separately: an unrelated file and a
+    // file from a different toolchain revision are different failures.
+    auto prefix = cur.getBytes(kMagicPrefixLen);
+    if (!cur.ok() ||
+        std::memcmp(prefix.data(), kMagic, kMagicPrefixLen) != 0)
+        return decodeErrorAtByte(DecodeStatus::BadMagic, 0,
+                                 "not a compressed image (bad magic)");
+    u8 version = cur.get8();
+    u8 nul = cur.get8();
+    if (!cur.ok() || nul != 0)
+        return decodeErrorAtByte(DecodeStatus::BadMagic, kMagicPrefixLen,
+                                 "malformed magic trailer");
+    if (version != static_cast<u8>(kFormatVersion))
+        return decodeErrorAtByte(DecodeStatus::BadVersion,
+                                 kMagicPrefixLen,
+                                 "unsupported image version '%c' "
+                                 "(this build reads '%c')",
+                                 version, kFormatVersion);
 
     CompressedImage img;
+    size_t section = cur.pos();
     img.textBase = cur.get32();
     img.origTextBytes = cur.get32();
     img.paddedInsns = cur.get32();
+    if (!cur.ok())
+        return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                 "file ends inside the header");
+    if (Result<void> r = checkSection(cur, bytes, section, "header",
+                                      opts); !r)
+        return r.error();
+    if (img.paddedInsns % kGroupInsns != 0)
+        return decodeErrorAtByte(DecodeStatus::BadHeader, section,
+                                 "paddedInsns %u is not a multiple of "
+                                 "the group size %u",
+                                 img.paddedInsns, kGroupInsns);
+    if (img.origTextBytes % 4 != 0 ||
+        img.origTextBytes > u64{img.paddedInsns} * 4)
+        return decodeErrorAtByte(DecodeStatus::BadHeader, section,
+                                 "origTextBytes %u inconsistent with "
+                                 "%u padded instructions",
+                                 img.origTextBytes, img.paddedInsns);
 
+    // Index table. The count is validated against both the header and
+    // the bytes actually present before anything is allocated.
+    section = cur.pos();
     u32 groups = cur.get32();
-    if (!cur.ok() || groups != img.paddedInsns / kGroupInsns)
-        return std::nullopt;
+    if (!cur.ok())
+        return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                 "file ends at the index-table count");
+    if (groups != img.paddedInsns / kGroupInsns)
+        return decodeErrorAtByte(DecodeStatus::BadHeader, section,
+                                 "index table declares %u groups, "
+                                 "header implies %u",
+                                 groups, img.paddedInsns / kGroupInsns);
+    if (size_t{groups} * 4 > cur.remaining())
+        return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                 "index table declares %u entries but "
+                                 "only %zu bytes remain",
+                                 groups, cur.remaining());
     img.indexTable.reserve(groups);
     for (u32 i = 0; i < groups; ++i)
         img.indexTable.push_back(cur.get32());
+    if (Result<void> r = checkSection(cur, bytes, section,
+                                      "index table", opts); !r)
+        return r.error();
 
+    // Compressed stream.
+    section = cur.pos();
     u32 stream_len = cur.get32();
+    if (!cur.ok())
+        return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                 "file ends at the stream length");
+    if (stream_len > cur.remaining())
+        return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                 "stream declares %u bytes but only "
+                                 "%zu remain",
+                                 stream_len, cur.remaining());
     img.bytes = cur.getBytes(stream_len);
+    if (Result<void> r = checkSection(cur, bytes, section, "stream",
+                                      opts); !r)
+        return r.error();
 
-    auto high = getDictionary(cur, Dictionary::Kind::High);
-    auto low = getDictionary(cur, Dictionary::Kind::Low);
-    if (!high || !low)
-        return std::nullopt;
+    // Dictionaries.
+    section = cur.pos();
+    Result<Dictionary> high =
+        getDictionaryChecked(cur, Dictionary::Kind::High);
+    if (!high)
+        return high.error();
+    Result<Dictionary> low =
+        getDictionaryChecked(cur, Dictionary::Kind::Low);
+    if (!low)
+        return low.error();
     img.highDict = *high;
     img.lowDict = *low;
+    if (Result<void> r = checkSection(cur, bytes, section,
+                                      "dictionaries", opts); !r)
+        return r.error();
 
+    // Block extents.
+    section = cur.pos();
     u32 num_blocks = cur.get32();
-    if (!cur.ok() || num_blocks != groups * kBlocksPerGroup)
-        return std::nullopt;
+    if (!cur.ok())
+        return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                 "file ends at the block-extent count");
+    if (num_blocks != groups * kBlocksPerGroup)
+        return decodeErrorAtByte(DecodeStatus::BadHeader, section,
+                                 "%u block extents declared for %u "
+                                 "groups", num_blocks, groups);
+    if (size_t{num_blocks} * 9 > cur.remaining())
+        return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                 "%u block extents declared but only "
+                                 "%zu bytes remain",
+                                 num_blocks, cur.remaining());
     img.blocks.reserve(num_blocks);
     for (u32 i = 0; i < num_blocks; ++i) {
         BlockExtent b;
@@ -128,7 +286,12 @@ decodeImage(const std::vector<u8> &bytes)
         b.raw = cur.get8() != 0;
         img.blocks.push_back(b);
     }
+    if (Result<void> r = checkSection(cur, bytes, section,
+                                      "block extents", opts); !r)
+        return r.error();
 
+    // Composition counters.
+    section = cur.pos();
     img.comp.indexTableBits = cur.get64();
     img.comp.dictionaryBits = cur.get64();
     img.comp.compressedTagBits = cur.get64();
@@ -136,10 +299,32 @@ decodeImage(const std::vector<u8> &bytes)
     img.comp.rawTagBits = cur.get64();
     img.comp.rawBits = cur.get64();
     img.comp.padBits = cur.get64();
-
     if (!cur.ok())
-        return std::nullopt;
+        return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                 "file ends inside the composition "
+                                 "counters");
+    if (Result<void> r = checkSection(cur, bytes, section,
+                                      "composition", opts); !r)
+        return r.error();
+
+    if (cur.remaining() != 0)
+        return decodeErrorAtByte(DecodeStatus::Malformed, cur.pos(),
+                                 "%zu trailing bytes after the image",
+                                 cur.remaining());
+
+    // Structural cross-checks (index entries and extents in range).
+    if (Result<void> r = validateImage(img); !r)
+        return r.error();
     return img;
+}
+
+std::optional<CompressedImage>
+decodeImage(const std::vector<u8> &bytes)
+{
+    Result<CompressedImage> r = decodeImageChecked(bytes);
+    if (!r)
+        return std::nullopt;
+    return std::move(*r);
 }
 
 bool
@@ -148,13 +333,23 @@ saveImage(const CompressedImage &img, const std::string &path)
     return writeFileBytes(path, encodeImage(img));
 }
 
-std::optional<CompressedImage>
-loadImage(const std::string &path)
+Result<CompressedImage>
+loadImageChecked(const std::string &path, const ImageLoadOptions &opts)
 {
     auto bytes = readFileBytes(path);
     if (!bytes)
+        return decodeErrorAtByte(DecodeStatus::Truncated, 0,
+                                 "cannot read '%s'", path.c_str());
+    return decodeImageChecked(*bytes, opts);
+}
+
+std::optional<CompressedImage>
+loadImage(const std::string &path)
+{
+    Result<CompressedImage> r = loadImageChecked(path);
+    if (!r)
         return std::nullopt;
-    return decodeImage(*bytes);
+    return std::move(*r);
 }
 
 } // namespace codepack

@@ -3,6 +3,26 @@
  * On-disk format for compressed images, mirroring what a CodePack build
  * chain would ship to a target: the compressed byte region, the index
  * table, both dictionaries, and the compression metadata.
+ *
+ * Format v2 layout (little-endian, see DESIGN.md "Error-handling
+ * policy" for the integrity rationale):
+ *
+ *   bytes [0,8)   magic "CPSCPK" + version char '2' + NUL
+ *   bytes [8,20)  header: textBase, origTextBytes, paddedInsns (u32 each)
+ *   bytes [20,24) CRC-32 of the header fields
+ *   then five sections, each immediately followed by the CRC-32 of its
+ *   payload (count/length fields included):
+ *     index table   u32 count, count x u32 entries
+ *     stream        u32 length, length raw bytes
+ *     dictionaries  high then low (banks, per-bank count + entries)
+ *     block extents u32 count, count x (u32 offset, u32 len, u8 raw)
+ *     composition   7 x u64 bit counters
+ *
+ * Everything read here is untrusted input: the checked entry points
+ * return structured DecodeErrors (status + byte offset) and validate
+ * every declared size against the bytes actually present *before*
+ * allocating, so a truncated or bit-flipped file is rejected with a
+ * diagnosis instead of aborting or over-reading.
  */
 
 #ifndef CPS_CODEPACK_IMAGEFILE_HH
@@ -11,12 +31,29 @@
 #include <optional>
 #include <string>
 
+#include "common/result.hh"
 #include "compressor.hh"
 
 namespace cps
 {
 namespace codepack
 {
+
+/** Byte offset of the index-table entry count in an encoded image. */
+constexpr size_t kImageIndexCountOffset = 24;
+/** Byte offset of the first index-table entry in an encoded image. */
+constexpr size_t kImageIndexEntriesOffset = 28;
+
+/** Knobs for the checked image loaders. */
+struct ImageLoadOptions
+{
+    /**
+     * Verify each section's CRC-32 against its payload. On by default;
+     * switch off to measure the checksum's load-time overhead or to
+     * exercise the decode path's own structural defences.
+     */
+    bool verifyCrc = true;
+};
 
 /** Serializes @p img to @p path. @return false on I/O failure. */
 bool saveImage(const CompressedImage &img, const std::string &path);
@@ -27,6 +64,18 @@ std::optional<CompressedImage> loadImage(const std::string &path);
 /** In-memory encode/decode counterparts. */
 std::vector<u8> encodeImage(const CompressedImage &img);
 std::optional<CompressedImage> decodeImage(const std::vector<u8> &bytes);
+
+/**
+ * Checked decode: like decodeImage but the rejection explains itself
+ * (bad magic vs unsupported version vs truncation vs CRC mismatch vs
+ * insane header fields, with the failing byte offset).
+ */
+Result<CompressedImage> decodeImageChecked(
+    const std::vector<u8> &bytes, const ImageLoadOptions &opts = {});
+
+/** Checked load: file-read failures surface as structured errors too. */
+Result<CompressedImage> loadImageChecked(
+    const std::string &path, const ImageLoadOptions &opts = {});
 
 } // namespace codepack
 } // namespace cps

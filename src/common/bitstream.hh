@@ -115,6 +115,21 @@ class BitReader
         return out;
     }
 
+    /**
+     * Checked read for untrusted input: reads @p width bits into
+     * @p out. On underrun (or a width above 32) returns false and
+     * leaves the cursor where it was, so the caller can report the
+     * exact failing bit offset via bitPos().
+     */
+    [[nodiscard]] bool
+    tryRead(unsigned width, u32 &out)
+    {
+        if (width > 32 || width > remaining())
+            return false;
+        out = get(width);
+        return true;
+    }
+
     /** Reads a single bit. */
     unsigned
     getBit()
@@ -139,12 +154,20 @@ class BitReader
     /** Skips forward to the next byte boundary. */
     void skipToByte() { cursor_ = (cursor_ + 7) & ~static_cast<size_t>(7); }
 
-    /** Repositions the read cursor to an absolute bit offset. */
-    void
+    /**
+     * Repositions the read cursor to an absolute bit offset. An offset
+     * beyond the end of the stream is rejected (the cursor does not
+     * move) rather than asserted: seek targets come from index tables,
+     * which are untrusted input.
+     * @return false when @p bit_offset is out of range
+     */
+    [[nodiscard]] bool
     seekBit(size_t bit_offset)
     {
-        cps_assert(bit_offset <= bitCount_, "seek past end of bitstream");
+        if (bit_offset > bitCount_)
+            return false;
         cursor_ = bit_offset;
+        return true;
     }
 
     /** Absolute bit offset of the next bit to be read. */
@@ -152,6 +175,9 @@ class BitReader
 
     /** Number of bits remaining. */
     size_t bitsLeft() const { return bitCount_ - cursor_; }
+
+    /** Number of bits remaining (alias for the decode-path idiom). */
+    size_t remaining() const { return bitsLeft(); }
 
   private:
     const u8 *data_;

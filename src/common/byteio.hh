@@ -121,6 +121,9 @@ class ByteCursor
 
     size_t remaining() const { return bytes_.size() - pos_; }
 
+    /** Byte offset of the next read (for error reports and CRC spans). */
+    size_t pos() const { return pos_; }
+
   private:
     const std::vector<u8> &bytes_;
     size_t pos_ = 0;

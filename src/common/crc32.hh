@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+ * checksum stored per section in compressed image files. Table-driven,
+ * with the table built at compile time; no dependency beyond types.hh.
+ */
+
+#ifndef CPS_COMMON_CRC32_HH
+#define CPS_COMMON_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "types.hh"
+
+namespace cps
+{
+
+namespace detail
+{
+
+constexpr std::array<u32, 256>
+makeCrc32Table()
+{
+    std::array<u32, 256> table{};
+    for (u32 i = 0; i < 256; ++i) {
+        u32 c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<u32, 256> kCrc32Table = makeCrc32Table();
+
+} // namespace detail
+
+/**
+ * Updates a running CRC-32 with @p size bytes. Start (and finish) a
+ * fresh checksum by passing/keeping the default @p crc of 0; chain
+ * calls by feeding the previous return value back in.
+ */
+inline u32
+crc32(const u8 *data, size_t size, u32 crc = 0)
+{
+    crc = ~crc;
+    for (size_t i = 0; i < size; ++i)
+        crc = detail::kCrc32Table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+    return ~crc;
+}
+
+/** CRC-32 of a whole byte vector. */
+inline u32
+crc32(const std::vector<u8> &bytes)
+{
+    return crc32(bytes.data(), bytes.size());
+}
+
+} // namespace cps
+
+#endif // CPS_COMMON_CRC32_HH

@@ -1,0 +1,58 @@
+#include "result.hh"
+
+#include <cstdarg>
+
+namespace cps
+{
+
+const char *
+decodeStatusName(DecodeStatus status)
+{
+    switch (status) {
+      case DecodeStatus::Ok:
+        return "ok";
+      case DecodeStatus::BadMagic:
+        return "bad-magic";
+      case DecodeStatus::BadVersion:
+        return "bad-version";
+      case DecodeStatus::Truncated:
+        return "truncated";
+      case DecodeStatus::BadCrc:
+        return "bad-crc";
+      case DecodeStatus::BadHeader:
+        return "bad-header";
+      case DecodeStatus::RangeError:
+        return "range-error";
+      case DecodeStatus::Malformed:
+        return "malformed";
+    }
+    return "unknown";
+}
+
+DecodeError
+decodeErrorAtByte(DecodeStatus status, u64 byte_offset, const char *fmt, ...)
+{
+    DecodeError err;
+    err.status = status;
+    err.bitOffset = byte_offset * 8;
+    std::va_list ap;
+    va_start(ap, fmt);
+    err.message = vstrfmt(fmt, ap);
+    va_end(ap);
+    return err;
+}
+
+DecodeError
+decodeErrorAtBit(DecodeStatus status, u64 bit_offset, const char *fmt, ...)
+{
+    DecodeError err;
+    err.status = status;
+    err.bitOffset = bit_offset;
+    std::va_list ap;
+    va_start(ap, fmt);
+    err.message = vstrfmt(fmt, ap);
+    va_end(ap);
+    return err;
+}
+
+} // namespace cps

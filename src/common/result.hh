@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Recoverable-error plumbing for the untrusted-input decode path.
+ *
+ * Policy (see DESIGN.md "Error-handling policy"): anything that parses
+ * bytes we did not produce in this process — image files, bitstreams,
+ * index tables — must *return* a structured error instead of asserting,
+ * so a flipped bit in flash yields a diagnosable rejection rather than
+ * an abort. cps_assert/cps_panic remain reserved for internal
+ * invariants (simulator bugs).
+ */
+
+#ifndef CPS_COMMON_RESULT_HH
+#define CPS_COMMON_RESULT_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace cps
+{
+
+/** Why a decode was rejected. */
+enum class DecodeStatus
+{
+    Ok,        ///< no error (used by Result<void>)
+    BadMagic,  ///< file does not start with the expected magic
+    BadVersion, ///< recognised container, unsupported format version
+    Truncated, ///< input ended before a declared field/section
+    BadCrc,    ///< a section checksum did not match its payload
+    BadHeader, ///< a header field is insane (misaligned, inconsistent)
+    RangeError, ///< an index/offset points outside its table or region
+    Malformed, ///< structurally invalid in some other diagnosed way
+};
+
+/** Short stable name for a status ("bad-crc", "truncated", ...). */
+const char *decodeStatusName(DecodeStatus status);
+
+/**
+ * One structured decode failure: what went wrong and where.
+ *
+ * The position is kept in bits so bitstream-level failures (mid-codeword
+ * underrun) stay exact; byte-granular layers just multiply by 8.
+ */
+struct DecodeError
+{
+    DecodeStatus status = DecodeStatus::Ok;
+    u64 bitOffset = 0;   ///< absolute bit position of the failure
+    std::string message; ///< human-readable diagnosis
+
+    /** Byte position of the failure (bitOffset / 8). */
+    u64 byteOffset() const { return bitOffset >> 3; }
+
+    /** "bad-crc at byte 132: index table CRC mismatch ..." */
+    std::string
+    describe() const
+    {
+        return strfmt("%s at byte %llu (bit %llu): %s",
+                      decodeStatusName(status),
+                      static_cast<unsigned long long>(byteOffset()),
+                      static_cast<unsigned long long>(bitOffset),
+                      message.c_str());
+    }
+};
+
+/** Builds a DecodeError from a byte position and printf arguments. */
+DecodeError decodeErrorAtByte(DecodeStatus status, u64 byte_offset,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Builds a DecodeError from a bit position and printf arguments. */
+DecodeError decodeErrorAtBit(DecodeStatus status, u64 bit_offset,
+                             const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/**
+ * Either a value or a DecodeError. A deliberately small subset of
+ * std::expected (which our toolchain baseline predates): construction
+ * from T or DecodeError, ok()/operator bool, value(), error().
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(DecodeError error) : error_(std::move(error))
+    {
+        cps_assert(error_.status != DecodeStatus::Ok,
+                   "error Result built with status Ok");
+    }
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    T &
+    value()
+    {
+        cps_assert(ok(), "Result::value() on error: %s",
+                   error_.message.c_str());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        cps_assert(ok(), "Result::value() on error: %s",
+                   error_.message.c_str());
+        return *value_;
+    }
+
+    /** The value, or @p fallback when this Result holds an error. */
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+    const DecodeError &
+    error() const
+    {
+        cps_assert(!ok(), "Result::error() on ok value");
+        return error_;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    std::optional<T> value_;
+    DecodeError error_;
+};
+
+/** Result<void>: success carries no payload. */
+template <>
+class Result<void>
+{
+  public:
+    Result() = default;
+    Result(DecodeError error) : failed_(true), error_(std::move(error))
+    {
+        cps_assert(error_.status != DecodeStatus::Ok,
+                   "error Result built with status Ok");
+    }
+
+    bool ok() const { return !failed_; }
+    explicit operator bool() const { return ok(); }
+
+    const DecodeError &
+    error() const
+    {
+        cps_assert(failed_, "Result::error() on ok value");
+        return error_;
+    }
+
+  private:
+    bool failed_ = false;
+    DecodeError error_;
+};
+
+} // namespace cps
+
+#endif // CPS_COMMON_RESULT_HH

@@ -112,7 +112,9 @@ Executor::step()
         wr_rd(static_cast<u32>(static_cast<s32>(rt()) >> (rs() & 31)));
         break;
       case Op::Mul:
-        wr_rd(static_cast<u32>(static_cast<s32>(rs()) *
+        // Widen before multiplying: s32*s32 overflows (UB) on large
+        // operands; the architected result is the wrapped low 32 bits.
+        wr_rd(static_cast<u32>(static_cast<s64>(static_cast<s32>(rs())) *
                                static_cast<s32>(rt())));
         break;
       case Op::Mulu: wr_rd(rs() * rt()); break;

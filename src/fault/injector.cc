@@ -1,0 +1,129 @@
+#include "injector.hh"
+
+#include <algorithm>
+
+#include "codepack/imagefile.hh"
+#include "common/logging.hh"
+
+namespace cps
+{
+namespace fault
+{
+
+const FaultKind kAllFaultKinds[kNumFaultKinds] = {
+    FaultKind::BitFlip,      FaultKind::MultiBitFlip,
+    FaultKind::ByteCorrupt,  FaultKind::Truncate,
+    FaultKind::IndexCorrupt,
+};
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::BitFlip:
+        return "bit-flip";
+      case FaultKind::MultiBitFlip:
+        return "multi-bit-flip";
+      case FaultKind::ByteCorrupt:
+        return "byte-corrupt";
+      case FaultKind::Truncate:
+        return "truncate";
+      case FaultKind::IndexCorrupt:
+        return "index-corrupt";
+    }
+    return "unknown";
+}
+
+std::string
+FaultRecord::describe() const
+{
+    return strfmt("%s seed 0x%llx: %u flip(s) from byte %zu",
+                  faultKindName(kind),
+                  static_cast<unsigned long long>(seed), flips, offset);
+}
+
+FaultRecord
+FaultInjector::inject(std::vector<u8> &bytes, FaultKind kind)
+{
+    cps_assert(!bytes.empty(), "cannot inject into an empty image");
+    FaultRecord rec;
+    rec.kind = kind;
+    rec.seed = seed_;
+
+    switch (kind) {
+      case FaultKind::BitFlip: {
+        size_t bit = rng_.below(bytes.size() * 8);
+        bytes[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        rec.offset = bit / 8;
+        rec.flips = 1;
+        break;
+      }
+      case FaultKind::MultiBitFlip: {
+        unsigned flips = static_cast<unsigned>(rng_.range(2, 8));
+        rec.offset = bytes.size();
+        for (unsigned i = 0; i < flips; ++i) {
+            size_t bit = rng_.below(bytes.size() * 8);
+            bytes[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+            rec.offset = std::min(rec.offset, bit / 8);
+        }
+        rec.flips = flips;
+        break;
+      }
+      case FaultKind::ByteCorrupt: {
+        size_t at = rng_.below(bytes.size());
+        u8 fresh;
+        do {
+            fresh = static_cast<u8>(rng_.below(256));
+        } while (fresh == bytes[at]);
+        bytes[at] = fresh;
+        rec.offset = at;
+        break;
+      }
+      case FaultKind::Truncate: {
+        // Keep [0, cut): always drops at least one byte.
+        size_t cut = rng_.below(bytes.size());
+        bytes.resize(cut);
+        rec.offset = cut;
+        break;
+      }
+      case FaultKind::IndexCorrupt: {
+        // Overwrite one whole index-table entry (the v2 layout puts
+        // the entry count at a fixed offset; see imagefile.hh). Images
+        // too small to hold an index table get a plain byte fault.
+        using codepack::kImageIndexCountOffset;
+        using codepack::kImageIndexEntriesOffset;
+        u32 groups = 0;
+        if (bytes.size() >= kImageIndexEntriesOffset) {
+            for (unsigned i = 0; i < 4; ++i)
+                groups |= static_cast<u32>(
+                              bytes[kImageIndexCountOffset + i])
+                          << (8 * i);
+        }
+        size_t table_bytes = size_t{groups} * 4;
+        if (groups == 0 ||
+            kImageIndexEntriesOffset + table_bytes > bytes.size()) {
+            rec = inject(bytes, FaultKind::ByteCorrupt);
+            rec.kind = kind;
+            return rec;
+        }
+        size_t entry = rng_.below(groups);
+        size_t at = kImageIndexEntriesOffset + entry * 4;
+        u32 garbage = static_cast<u32>(rng_.next());
+        for (unsigned i = 0; i < 4; ++i)
+            bytes[at + i] = static_cast<u8>(garbage >> (8 * i));
+        rec.offset = at;
+        break;
+      }
+    }
+    return rec;
+}
+
+FaultRecord
+FaultInjector::injectAny(std::vector<u8> &bytes)
+{
+    FaultKind kind = kAllFaultKinds[rng_.below(kNumFaultKinds)];
+    return inject(bytes, kind);
+}
+
+} // namespace fault
+} // namespace cps

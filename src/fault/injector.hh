@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic fault injection for encoded compressed images.
+ *
+ * Models the failure modes compressed code meets in the field —
+ * bit-flips in flash, a programming cycle that stopped early, a
+ * toolchain that scribbled an index entry — as seeded, reproducible
+ * mutations of the encoded image bytes. The same seed always produces
+ * the same corruption, so any campaign failure can be replayed from
+ * its (kind, seed) pair alone.
+ */
+
+#ifndef CPS_FAULT_INJECTOR_HH
+#define CPS_FAULT_INJECTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace cps
+{
+namespace fault
+{
+
+/** The corruption models the injector can apply. */
+enum class FaultKind
+{
+    BitFlip,      ///< one bit, anywhere in the image
+    MultiBitFlip, ///< 2..8 independent bit flips
+    ByteCorrupt,  ///< one byte replaced by a different random value
+    Truncate,     ///< image cut short at a random point
+    IndexCorrupt, ///< one index-table entry overwritten
+};
+
+constexpr unsigned kNumFaultKinds = 5;
+
+/** All kinds, for sweeps. */
+extern const FaultKind kAllFaultKinds[kNumFaultKinds];
+
+/** Short stable name ("bit-flip", "truncate", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** Record of one applied fault, sufficient to describe and replay it. */
+struct FaultRecord
+{
+    FaultKind kind = FaultKind::BitFlip;
+    u64 seed = 0;        ///< injector seed that produced this fault
+    size_t offset = 0;   ///< first affected byte (cut point for Truncate)
+    unsigned flips = 0;  ///< bit flips applied (0 for non-flip kinds)
+
+    /** "multi-bit-flip seed 0x2a: 3 flips from byte 132" */
+    std::string describe() const;
+};
+
+/**
+ * Applies seeded corruptions to encoded image bytes.
+ *
+ * Determinism contract: the sequence of mutations depends only on the
+ * constructor seed, the image size, and the order of calls. Every
+ * mutation really changes the bytes (a byte rewrite re-rolls until the
+ * value differs; a truncation always removes at least one byte).
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(u64 seed) : seed_(seed), rng_(seed) {}
+
+    /** Mutates @p bytes in place with one fault of @p kind. */
+    FaultRecord inject(std::vector<u8> &bytes, FaultKind kind);
+
+    /** Mutates @p bytes with a seeded-random kind. */
+    FaultRecord injectAny(std::vector<u8> &bytes);
+
+  private:
+    u64 seed_;
+    Rng rng_;
+};
+
+} // namespace fault
+} // namespace cps
+
+#endif // CPS_FAULT_INJECTOR_HH

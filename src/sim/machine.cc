@@ -86,6 +86,13 @@ Machine::Machine(const Program &prog, const MachineConfig &cfg,
     } else {
         cps_assert(img != nullptr,
                    "CodePack code models need a compressed image");
+        // Images may come off disk; a structurally corrupt one is a
+        // user-input problem, not a simulator bug. Reject it with a
+        // diagnosis (fatal: clean exit) instead of asserting deep in
+        // the fetch path later.
+        if (Result<void> v = codepack::validateImage(*img); !v)
+            cps_fatal("refusing corrupt compressed image: %s",
+                      v.error().describe().c_str());
         if (cfg.codeModel == CodeModel::CodePackSoftware) {
             fetch_ = std::make_unique<SoftwareCodePackFetchPath>(
                 cfg.icache, *img, mem_, cfg.software, stats_);

@@ -88,10 +88,36 @@ TEST(BitReader, SeekAndPos)
     BitReader br(bytes);
     br.get(4);
     EXPECT_EQ(br.bitPos(), 4u);
-    br.seekBit(8);
+    EXPECT_TRUE(br.seekBit(8));
     EXPECT_EQ(br.get(8), 0xadu);
-    br.seekBit(0);
+    EXPECT_TRUE(br.seekBit(0));
     EXPECT_EQ(br.get(16), 0xdeadu);
+}
+
+TEST(BitReader, SeekPastEndIsRejected)
+{
+    std::vector<u8> bytes{0xaa, 0xbb};
+    BitReader br(bytes);
+    br.get(4);
+    EXPECT_FALSE(br.seekBit(17));
+    EXPECT_EQ(br.bitPos(), 4u); // cursor unmoved by the failed seek
+    EXPECT_TRUE(br.seekBit(16)); // end-of-stream is a valid position
+    EXPECT_EQ(br.remaining(), 0u);
+}
+
+TEST(BitReader, TryReadStopsAtUnderrun)
+{
+    std::vector<u8> bytes{0xf0};
+    BitReader br(bytes);
+    u32 v = 0;
+    ASSERT_TRUE(br.tryRead(4, v));
+    EXPECT_EQ(v, 0xfu);
+    EXPECT_FALSE(br.tryRead(5, v)); // only 4 bits left
+    EXPECT_EQ(br.bitPos(), 4u);     // cursor unmoved by the failed read
+    ASSERT_TRUE(br.tryRead(4, v));
+    EXPECT_EQ(v, 0x0u);
+    EXPECT_FALSE(br.tryRead(1, v));
+    EXPECT_FALSE(br.tryRead(33, v)); // width out of range, not an abort
 }
 
 TEST(BitReader, SkipToByte)

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Fault-injection subsystem tests: seeded injectors are deterministic
+ * and really mutate, and a decode round-trip over hundreds of seeded
+ * corruptions always ends in detect-or-reject (zero silent wrong
+ * decodes with CRCs on, zero crashes always).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codepack/compressor.hh"
+#include "codepack/imagefile.hh"
+#include "fault/campaign.hh"
+#include "fault/injector.hh"
+#include "progen/progen.hh"
+
+namespace cps
+{
+namespace
+{
+
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultRecord;
+using fault::Outcome;
+
+const codepack::CompressedImage &
+sampleImage()
+{
+    static codepack::CompressedImage img =
+        codepack::compress(generateProgram(findProfile("pegwit")));
+    return img;
+}
+
+TEST(FaultInjector, SameSeedSameCorruption)
+{
+    std::vector<u8> pristine = codepack::encodeImage(sampleImage());
+    for (FaultKind kind : fault::kAllFaultKinds) {
+        std::vector<u8> a = pristine, b = pristine;
+        FaultRecord ra = FaultInjector(0x1234).inject(a, kind);
+        FaultRecord rb = FaultInjector(0x1234).inject(b, kind);
+        EXPECT_EQ(a, b) << faultKindName(kind);
+        EXPECT_EQ(ra.offset, rb.offset) << faultKindName(kind);
+        EXPECT_EQ(ra.flips, rb.flips) << faultKindName(kind);
+    }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    std::vector<u8> pristine = codepack::encodeImage(sampleImage());
+    // Across many seeds, bit-flips must not all hit the same place.
+    std::vector<u8> first = pristine;
+    FaultInjector(0).inject(first, FaultKind::BitFlip);
+    bool diverged = false;
+    for (u64 seed = 1; seed < 8 && !diverged; ++seed) {
+        std::vector<u8> other = pristine;
+        FaultInjector(seed).inject(other, FaultKind::BitFlip);
+        diverged = other != first;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, EveryKindReallyMutates)
+{
+    std::vector<u8> pristine = codepack::encodeImage(sampleImage());
+    for (FaultKind kind : fault::kAllFaultKinds) {
+        for (u64 seed = 0; seed < 32; ++seed) {
+            std::vector<u8> mut = pristine;
+            FaultInjector(seed).inject(mut, kind);
+            EXPECT_NE(mut, pristine)
+                << faultKindName(kind) << " seed " << seed;
+        }
+    }
+}
+
+TEST(FaultInjector, TruncateAlwaysShortens)
+{
+    std::vector<u8> pristine = codepack::encodeImage(sampleImage());
+    for (u64 seed = 0; seed < 16; ++seed) {
+        std::vector<u8> mut = pristine;
+        FaultRecord rec =
+            FaultInjector(seed).inject(mut, FaultKind::Truncate);
+        EXPECT_LT(mut.size(), pristine.size());
+        EXPECT_EQ(mut.size(), rec.offset);
+    }
+}
+
+TEST(FaultInjector, RecordDescribesItself)
+{
+    std::vector<u8> pristine = codepack::encodeImage(sampleImage());
+    FaultRecord rec =
+        FaultInjector(0xabc).inject(pristine, FaultKind::MultiBitFlip);
+    std::string s = rec.describe();
+    EXPECT_NE(s.find("multi-bit-flip"), std::string::npos) << s;
+    EXPECT_NE(s.find("0xabc"), std::string::npos) << s;
+}
+
+TEST(FaultCampaign, DeterministicAcrossRuns)
+{
+    fault::CampaignConfig cfg;
+    cfg.trials = 20;
+    fault::CampaignResult a = fault::runCampaign(sampleImage(), cfg);
+    fault::CampaignResult b = fault::runCampaign(sampleImage(), cfg);
+    for (unsigned o = 0; o < fault::kNumOutcomes; ++o)
+        EXPECT_EQ(a.byOutcome[o], b.byOutcome[o]);
+}
+
+TEST(FaultCampaign, CrcVerifiedDecodeDetectsOrRejectsEverything)
+{
+    fault::CampaignConfig cfg;
+    cfg.trials = 40; // x5 kinds = 200 corruptions
+    fault::CampaignResult res = fault::runCampaign(sampleImage(), cfg);
+    EXPECT_EQ(res.trials, 200u);
+    // Reaching this line at all proves no corruption crashed us; with
+    // CRCs on none may be silently wrong either.
+    EXPECT_EQ(res.silentlyWrong(), 0u)
+        << res.firstSilentWrong.describe();
+    EXPECT_EQ(res.count(Outcome::DetectedAtLoad) +
+                  res.count(Outcome::RejectedInDecode) +
+                  res.count(Outcome::SilentlyCorrect),
+              res.trials);
+    // And the campaign must actually be exercising the load-time
+    // defences, not classifying everything as benign.
+    EXPECT_GT(res.count(Outcome::DetectedAtLoad), 100u);
+}
+
+TEST(FaultCampaign, UncheckedCrcStillNeverCrashes)
+{
+    fault::CampaignConfig cfg;
+    cfg.trials = 40;
+    cfg.verifyCrc = false;
+    fault::CampaignResult res = fault::runCampaign(sampleImage(), cfg);
+    EXPECT_EQ(res.trials, 200u);
+    // Truncations must still be caught by pure bounds checking.
+    EXPECT_EQ(res.count(FaultKind::Truncate, Outcome::SilentlyWrong),
+              0u);
+    // In-stream damage may decode to wrong words without the CRC —
+    // that is the gap the CRC exists to close. It must be a bounded
+    // minority, not the norm, and everything else detect-or-reject.
+    unsigned handled = res.count(Outcome::DetectedAtLoad) +
+                       res.count(Outcome::RejectedInDecode);
+    EXPECT_GT(handled, res.trials / 2);
+}
+
+TEST(FaultCampaign, SingleCorruptionClassifiesAgainstPristine)
+{
+    const codepack::CompressedImage &img = sampleImage();
+    std::vector<u8> bytes = codepack::encodeImage(img);
+    // An untouched image is (vacuously) silently correct.
+    EXPECT_EQ(fault::classifyCorruption(img, bytes, true),
+              Outcome::SilentlyCorrect);
+    // A truncated one is detected at load even without CRCs.
+    bytes.resize(bytes.size() / 2);
+    EXPECT_EQ(fault::classifyCorruption(img, bytes, false),
+              Outcome::DetectedAtLoad);
+}
+
+} // namespace
+} // namespace cps

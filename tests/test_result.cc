@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the recoverable-error plumbing: Result<T>, Result<void>,
+ * DecodeError formatting, and the CRC-32 used by the image format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/crc32.hh"
+#include "common/result.hh"
+
+namespace cps
+{
+namespace
+{
+
+TEST(Result, OkCarriesValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(*r, 42);
+    EXPECT_EQ(r.valueOr(7), 42);
+}
+
+TEST(Result, ErrorCarriesDiagnosis)
+{
+    Result<int> r = decodeErrorAtByte(DecodeStatus::Truncated, 132,
+                                      "file ends at %s", "the header");
+    ASSERT_FALSE(r.ok());
+    EXPECT_FALSE(static_cast<bool>(r));
+    EXPECT_EQ(r.error().status, DecodeStatus::Truncated);
+    EXPECT_EQ(r.error().byteOffset(), 132u);
+    EXPECT_EQ(r.error().bitOffset, 132u * 8);
+    EXPECT_EQ(r.error().message, "file ends at the header");
+    EXPECT_EQ(r.valueOr(7), 7);
+}
+
+TEST(Result, BitGranularOffsets)
+{
+    DecodeError err = decodeErrorAtBit(DecodeStatus::RangeError, 43,
+                                       "index out of range");
+    EXPECT_EQ(err.bitOffset, 43u);
+    EXPECT_EQ(err.byteOffset(), 5u); // bit 43 lives in byte 5
+}
+
+TEST(Result, DescribeNamesStatusAndOffset)
+{
+    DecodeError err =
+        decodeErrorAtByte(DecodeStatus::BadCrc, 20, "header mismatch");
+    std::string s = err.describe();
+    EXPECT_NE(s.find("bad-crc"), std::string::npos) << s;
+    EXPECT_NE(s.find("byte 20"), std::string::npos) << s;
+    EXPECT_NE(s.find("header mismatch"), std::string::npos) << s;
+}
+
+TEST(Result, VoidSpecialization)
+{
+    Result<void> ok;
+    EXPECT_TRUE(ok.ok());
+    Result<void> bad =
+        decodeErrorAtByte(DecodeStatus::Malformed, 0, "nope");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().status, DecodeStatus::Malformed);
+}
+
+TEST(Result, MovesNonCopyablePayloads)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> taken = std::move(r.value());
+    EXPECT_EQ(*taken, 9);
+}
+
+TEST(Result, EveryStatusHasAName)
+{
+    for (DecodeStatus s :
+         {DecodeStatus::Ok, DecodeStatus::BadMagic,
+          DecodeStatus::BadVersion, DecodeStatus::Truncated,
+          DecodeStatus::BadCrc, DecodeStatus::BadHeader,
+          DecodeStatus::RangeError, DecodeStatus::Malformed}) {
+        EXPECT_STRNE(decodeStatusName(s), "unknown");
+    }
+}
+
+// ------------------------------------------------------------- crc32
+
+TEST(Crc32, KnownVectors)
+{
+    // The classic check value for CRC-32/IEEE.
+    const u8 check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    EXPECT_EQ(crc32(check, sizeof(check)), 0xCBF43926u);
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, ChainingMatchesOneShot)
+{
+    std::vector<u8> data;
+    for (int i = 0; i < 300; ++i)
+        data.push_back(static_cast<u8>(i * 7));
+    u32 oneshot = crc32(data);
+    u32 chained = crc32(data.data(), 100);
+    chained = crc32(data.data() + 100, 200, chained);
+    EXPECT_EQ(chained, oneshot);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlips)
+{
+    std::vector<u8> data(64, 0xA5);
+    u32 base = crc32(data);
+    for (size_t bit = 0; bit < data.size() * 8; bit += 37) {
+        std::vector<u8> mut = data;
+        mut[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        EXPECT_NE(crc32(mut), base) << "bit " << bit;
+    }
+}
+
+} // namespace
+} // namespace cps
