@@ -17,9 +17,10 @@
 #include <cstdio>
 
 #include "common/table.hh"
+#include "common/threadpool.hh"
 #include "compress/ccrp.hh"
 #include "compress/dict32.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -62,6 +63,8 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
+    const std::vector<std::string> &names = suite.names();
 
     TextTable ratios;
     ratios.setTitle("Ablation A: compression ratio by scheme "
@@ -74,28 +77,57 @@ main()
                   "machine)");
     perf.addHeader({"Bench", "CodePack opt", "CCRP", "dict32"});
 
-    for (const std::string &name : suite.names()) {
-        const BenchProgram &bench = suite.get(name);
-        auto words = textWords(bench.program);
+    // The codec fetch paths don't go through runMachine(), so the CCRP
+    // and dict32 legs run on the pool directly: each task compresses one
+    // benchmark under both schemes and simulates them, writing results
+    // into its own slot. The CodePack legs go through the run matrix.
+    struct SchemeCell
+    {
+        compress::CcrpImage ccrp;
+        compress::Dict32Image d32;
+        RunResult ccrpRun;
+        RunResult d32Run;
+    };
+    std::vector<SchemeCell> cells(names.size());
 
-        compress::CcrpImage ccrp =
-            compress::CcrpImage::compress(words, bench.program.text.base);
-        compress::Dict32Image d32 = compress::Dict32Image::compress(
-            words, bench.program.text.base);
+    harness::Matrix m;
+    for (const std::string &name : names) {
+        const BenchProgram &bench = suite.get(name);
+        m.add(bench, baseline4Issue(), insns);
+        m.add(bench,
+              baseline4Issue().withCodeModel(CodeModel::CodePackOptimized),
+              insns);
+    }
+
+    {
+        ThreadPool pool;
+        pool.parallelFor(names.size(), [&](size_t i) {
+            const BenchProgram &bench = suite.get(names[i]);
+            auto words = textWords(bench.program);
+            SchemeCell &cell = cells[i];
+            cell.ccrp = compress::CcrpImage::compress(
+                words, bench.program.text.base);
+            cell.d32 = compress::Dict32Image::compress(
+                words, bench.program.text.base);
+            cell.ccrpRun = runWithCodec(bench, cell.ccrp);
+            cell.d32Run = runWithCodec(bench, cell.d32);
+        });
+    }
+    m.run();
+
+    for (size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const BenchProgram &bench = suite.get(name);
+        const SchemeCell &cell = cells[i];
 
         ratios.addRow(
             {name, TextTable::pct(bench.image.compressionRatio()),
-             TextTable::pct(ccrp.compressionRatio()),
-             TextTable::pct(d32.compressionRatio()),
-             TextTable::grouped(d32.dictionaryEntries())});
+             TextTable::pct(cell.ccrp.compressionRatio()),
+             TextTable::pct(cell.d32.compressionRatio()),
+             TextTable::grouped(cell.d32.dictionaryEntries())});
 
-        RunOutcome native = runMachine(bench, baseline4Issue(), insns);
-        RunOutcome cp_opt = runMachine(
-            bench,
-            baseline4Issue().withCodeModel(CodeModel::CodePackOptimized),
-            insns);
-        RunResult ccrp_run = runWithCodec(bench, ccrp);
-        RunResult d32_run = runWithCodec(bench, d32);
+        RunOutcome native = m.next();
+        RunOutcome cp_opt = m.next();
 
         auto rel = [&native](const RunResult &r) {
             return TextTable::fmt(
@@ -105,7 +137,7 @@ main()
         };
         perf.addRow({name,
                      TextTable::fmt(speedup(native, cp_opt), 3),
-                     rel(ccrp_run), rel(d32_run)});
+                     rel(cell.ccrpRun), rel(cell.d32Run)});
     }
 
     ratios.print();

@@ -15,8 +15,10 @@
 
 #include <cstdio>
 #include <unordered_map>
+#include <vector>
 
 #include "common/table.hh"
+#include "common/threadpool.hh"
 #include "harness/suite.hh"
 
 using namespace cps;
@@ -24,10 +26,88 @@ using codepack::CompressedImage;
 using codepack::CompressorConfig;
 using codepack::HalfEncoding;
 
+namespace
+{
+
+/** Everything one benchmark contributes to the three tables. */
+struct Accounting
+{
+    std::vector<std::string> zeroRow;
+    std::vector<std::string> escapeRow;
+    std::vector<std::string> bankRow;
+};
+
+Accounting
+account(const std::string &name, const BenchProgram &bench)
+{
+    const CompressedImage &img = bench.image;
+    const Program &prog = bench.program;
+
+    // Recount halfword traffic against the shipped dictionaries.
+    u64 lo_zero = 0, total = 0;
+    u64 hi_bank[5] = {}; // 4 banks + raw
+    u64 lo_bank[4] = {}; // 3 banks + raw
+    for (size_t i = 0; i < prog.textWords(); ++i) {
+        u32 w = prog.word(i);
+        u16 hi = static_cast<u16>(w >> 16);
+        u16 lo = static_cast<u16>(w & 0xffff);
+        ++total;
+        HalfEncoding he = img.highDict.encode(hi);
+        ++hi_bank[he.raw ? 4 : he.bank];
+        HalfEncoding le = img.lowDict.encode(lo);
+        if (le.zeroSpecial)
+            ++lo_zero;
+        else
+            ++lo_bank[le.raw ? 3 : le.bank];
+    }
+
+    Accounting out;
+
+    // A: what would lo==0 cost through bank 0 (6-bit codeword)?
+    u64 saved_bits = lo_zero * (6 - 2);
+    double ratio_delta = static_cast<double>(saved_bits) / 8.0 /
+                         static_cast<double>(img.origTextBytes);
+    out.zeroRow = {name,
+                   TextTable::pct(static_cast<double>(lo_zero) /
+                                  static_cast<double>(total)),
+                   TextTable::grouped(saved_bits),
+                   strfmt("-%.2f points", 100.0 * ratio_delta)};
+
+    // B: recompress without the escape.
+    u64 raw_blocks = 0;
+    for (const codepack::BlockExtent &b : img.blocks)
+        raw_blocks += b.raw;
+    CompressorConfig no_escape;
+    no_escape.allowRawBlocks = false;
+    std::vector<u32> words;
+    for (size_t i = 0; i < prog.textWords(); ++i)
+        words.push_back(prog.word(i));
+    CompressedImage without =
+        codepack::compressWords(words, prog.text.base, no_escape);
+    out.escapeRow = {name, TextTable::grouped(raw_blocks),
+                     TextTable::pct(img.compressionRatio()),
+                     TextTable::pct(without.compressionRatio())};
+
+    // C: bank capture shares.
+    auto pct = [&](u64 n) {
+        return TextTable::pct(static_cast<double>(n) /
+                              static_cast<double>(total));
+    };
+    out.bankRow = {name,          pct(hi_bank[0]), pct(hi_bank[1]),
+                   pct(hi_bank[2]), pct(hi_bank[3]), pct(hi_bank[4]),
+                   pct(lo_zero),  pct(lo_bank[0]), pct(lo_bank[1]),
+                   pct(lo_bank[2]), pct(lo_bank[3])};
+    return out;
+}
+
+} // namespace
+
 int
 main()
 {
     Suite &suite = Suite::instance();
+    suite.pregenerate();
+    const std::vector<std::string> &names = suite.names();
 
     TextTable zero;
     zero.setTitle("Design choice A: the 2-bit low-zero codeword");
@@ -45,64 +125,18 @@ main()
                      "hi raw", "lo zero", "lo b0", "lo b1", "lo b2",
                      "lo raw"});
 
-    for (const std::string &name : suite.names()) {
-        const BenchProgram &bench = suite.get(name);
-        const CompressedImage &img = bench.image;
-        const Program &prog = bench.program;
+    std::vector<Accounting> acct(names.size());
+    {
+        ThreadPool pool;
+        pool.parallelFor(names.size(), [&](size_t i) {
+            acct[i] = account(names[i], suite.get(names[i]));
+        });
+    }
 
-        // Recount halfword traffic against the shipped dictionaries.
-        u64 lo_zero = 0, total = 0;
-        u64 hi_bank[5] = {}; // 4 banks + raw
-        u64 lo_bank[4] = {}; // 3 banks + raw
-        for (size_t i = 0; i < prog.textWords(); ++i) {
-            u32 w = prog.word(i);
-            u16 hi = static_cast<u16>(w >> 16);
-            u16 lo = static_cast<u16>(w & 0xffff);
-            ++total;
-            HalfEncoding he = img.highDict.encode(hi);
-            ++hi_bank[he.raw ? 4 : he.bank];
-            HalfEncoding le = img.lowDict.encode(lo);
-            if (le.zeroSpecial)
-                ++lo_zero;
-            else
-                ++lo_bank[le.raw ? 3 : le.bank];
-        }
-
-        // A: what would lo==0 cost through bank 0 (6-bit codeword)?
-        u64 saved_bits = lo_zero * (6 - 2);
-        double ratio_delta =
-            static_cast<double>(saved_bits) / 8.0 /
-            static_cast<double>(img.origTextBytes);
-        zero.addRow({name,
-                     TextTable::pct(static_cast<double>(lo_zero) /
-                                    static_cast<double>(total)),
-                     TextTable::grouped(saved_bits),
-                     strfmt("-%.2f points", 100.0 * ratio_delta)});
-
-        // B: recompress without the escape.
-        u64 raw_blocks = 0;
-        for (const codepack::BlockExtent &b : img.blocks)
-            raw_blocks += b.raw;
-        CompressorConfig no_escape;
-        no_escape.allowRawBlocks = false;
-        std::vector<u32> words;
-        for (size_t i = 0; i < prog.textWords(); ++i)
-            words.push_back(prog.word(i));
-        CompressedImage without =
-            codepack::compressWords(words, prog.text.base, no_escape);
-        escape.addRow({name, TextTable::grouped(raw_blocks),
-                       TextTable::pct(img.compressionRatio()),
-                       TextTable::pct(without.compressionRatio())});
-
-        // C: bank capture shares.
-        auto pct = [&](u64 n) {
-            return TextTable::pct(static_cast<double>(n) /
-                                  static_cast<double>(total));
-        };
-        banks.addRow({name, pct(hi_bank[0]), pct(hi_bank[1]),
-                      pct(hi_bank[2]), pct(hi_bank[3]), pct(hi_bank[4]),
-                      pct(lo_zero), pct(lo_bank[0]), pct(lo_bank[1]),
-                      pct(lo_bank[2]), pct(lo_bank[3])});
+    for (const Accounting &a : acct) {
+        zero.addRow(a.zeroRow);
+        escape.addRow(a.escapeRow);
+        banks.addRow(a.bankRow);
     }
 
     zero.print();

@@ -20,8 +20,11 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <vector>
+
 #include "codepack/imagefile.hh"
 #include "common/table.hh"
+#include "common/threadpool.hh"
 #include "fault/campaign.hh"
 #include "harness/suite.hh"
 
@@ -79,6 +82,8 @@ int
 main()
 {
     Suite &suite = Suite::instance();
+    suite.pregenerate();
+    const std::vector<std::string> &names = suite.names();
     unsigned trials = trialsPerKind();
 
     TextTable t;
@@ -88,22 +93,34 @@ main()
     t.addHeader({"Bench", "CRC", "Corruptions", "detected@load",
                  "rejected", "benign", "silently-wrong"});
 
+    // Each profile runs two campaigns (CRC on / CRC off); the campaigns
+    // are seeded and touch only private copies of the encoded image, so
+    // they fan out across the pool — one task per (profile, CRC mode).
+    std::vector<fault::CampaignResult> withCrc(names.size());
+    std::vector<fault::CampaignResult> noCrc(names.size());
+    {
+        ThreadPool pool;
+        pool.parallelFor(names.size() * 2, [&](size_t k) {
+            size_t i = k / 2;
+            const BenchProgram &bench = suite.get(names[i]);
+            fault::CampaignConfig cfg;
+            cfg.trials = trials;
+            if (k % 2 == 0) {
+                withCrc[i] = fault::runCampaign(bench.image, cfg);
+            } else {
+                cfg.verifyCrc = false;
+                noCrc[i] = fault::runCampaign(bench.image, cfg);
+            }
+        });
+    }
+
     unsigned total_silent_crc = 0;
     bool all_handled = true;
-    for (const std::string &name : suite.names()) {
-        const BenchProgram &bench = suite.get(name);
-        fault::CampaignConfig cfg;
-        cfg.trials = trials;
-
-        fault::CampaignResult with_crc =
-            fault::runCampaign(bench.image, cfg);
-        addCampaignRows(t, name, with_crc, "on");
+    for (size_t i = 0; i < names.size(); ++i) {
+        const fault::CampaignResult &with_crc = withCrc[i];
+        addCampaignRows(t, names[i], with_crc, "on");
         total_silent_crc += with_crc.silentlyWrong();
-
-        cfg.verifyCrc = false;
-        fault::CampaignResult no_crc =
-            fault::runCampaign(bench.image, cfg);
-        addCampaignRows(t, "", no_crc, "off");
+        addCampaignRows(t, "", noCrc[i], "off");
 
         all_handled = all_handled &&
                       with_crc.count(fault::Outcome::DetectedAtLoad) +

@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -18,19 +18,12 @@ namespace
 {
 
 std::string
-avgMissLatency(const BenchProgram &bench, const MachineConfig &cfg,
-               u64 insns)
+avgMissLatency(const RunOutcome &out)
 {
-    Machine machine(bench.program, cfg,
-                    cfg.codeModel == CodeModel::Native ? nullptr
-                                                       : &bench.image);
-    machine.run(insns);
-    u64 misses = machine.stats().value("icache.misses");
-    if (misses == 0)
+    if (out.icacheMisses == 0)
         return "-";
-    double avg = static_cast<double>(
-                     machine.stats().value("icache.miss_latency_total")) /
-                 static_cast<double>(misses);
+    double avg = static_cast<double>(out.missLatencyTotal) /
+                 static_cast<double>(out.icacheMisses);
     return TextTable::fmt(avg, 1);
 }
 
@@ -41,6 +34,7 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     TextTable t;
     t.setTitle("Extension: average critical-word I-miss latency in "
@@ -48,21 +42,24 @@ main()
     t.addHeader({"Bench", "Native", "CodePack", "Optimized",
                  "Software (8 cyc/insn)"});
 
+    harness::Matrix m;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        MachineConfig sw =
-            baseline4Issue().withCodeModel(CodeModel::CodePackSoftware);
-        t.addRow({name,
-                  avgMissLatency(bench, baseline4Issue(), insns),
-                  avgMissLatency(bench,
-                                 baseline4Issue().withCodeModel(
-                                     CodeModel::CodePack),
-                                 insns),
-                  avgMissLatency(bench,
-                                 baseline4Issue().withCodeModel(
-                                     CodeModel::CodePackOptimized),
-                                 insns),
-                  avgMissLatency(bench, sw, insns)});
+        m.add(bench, baseline4Issue(), insns);
+        m.add(bench, baseline4Issue().withCodeModel(CodeModel::CodePack),
+              insns);
+        m.add(bench,
+              baseline4Issue().withCodeModel(CodeModel::CodePackOptimized),
+              insns);
+        m.add(bench,
+              baseline4Issue().withCodeModel(CodeModel::CodePackSoftware),
+              insns);
+    }
+    m.run();
+
+    for (const std::string &name : suite.names()) {
+        t.addRow({name, avgMissLatency(m.next()), avgMissLatency(m.next()),
+                  avgMissLatency(m.next()), avgMissLatency(m.next())});
     }
     t.print();
 

@@ -19,7 +19,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -28,6 +28,7 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     TextTable t;
     t.setTitle("Extension: native next-line prefetch vs CodePack "
@@ -35,20 +36,28 @@ main()
     t.addHeader({"Bench", "Native+prefetch (64b)", "CP opt (64b)",
                  "Native+prefetch (16b)", "CP opt (16b)"});
 
+    harness::Matrix m;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        std::vector<std::string> row{name};
         for (unsigned bus : {64u, 16u}) {
             MachineConfig native = baseline4Issue();
             native.mem.busWidthBits = bus;
-            RunOutcome rn = runMachine(bench, native, insns);
-            RunOutcome rp = runMachine(
-                bench, native.withCodeModel(CodeModel::NativePrefetch),
-                insns);
-            RunOutcome ro = runMachine(
-                bench,
-                native.withCodeModel(CodeModel::CodePackOptimized),
-                insns);
+            m.add(bench, native, insns);
+            m.add(bench, native.withCodeModel(CodeModel::NativePrefetch),
+                  insns);
+            m.add(bench,
+                  native.withCodeModel(CodeModel::CodePackOptimized),
+                  insns);
+        }
+    }
+    m.run();
+
+    for (const std::string &name : suite.names()) {
+        std::vector<std::string> row{name};
+        for (size_t i = 0; i < 2; ++i) {
+            RunOutcome rn = m.next();
+            RunOutcome rp = m.next();
+            RunOutcome ro = m.next();
             row.push_back(TextTable::fmt(speedup(rn, rp), 3));
             row.push_back(TextTable::fmt(speedup(rn, ro), 3));
         }

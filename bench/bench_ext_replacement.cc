@@ -8,7 +8,7 @@
  */
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -17,6 +17,7 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     struct Pol { const char *label; ReplPolicy policy; };
     const Pol pols[] = {{"LRU", ReplPolicy::Lru},
@@ -29,17 +30,25 @@ main()
     t.addHeader({"Bench", "LRU miss", "LRU CPopt", "FIFO miss",
                  "FIFO CPopt", "rand miss", "rand CPopt"});
 
+    harness::Matrix m;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        std::vector<std::string> row{name};
         for (const Pol &p : pols) {
             MachineConfig native = baseline4Issue();
             native.icache = CacheConfig{4 * 1024, 32, 2, p.policy};
-            RunOutcome rn = runMachine(bench, native, insns);
-            RunOutcome ro = runMachine(
-                bench,
-                native.withCodeModel(CodeModel::CodePackOptimized),
-                insns);
+            m.add(bench, native, insns);
+            m.add(bench,
+                  native.withCodeModel(CodeModel::CodePackOptimized),
+                  insns);
+        }
+    }
+    m.run();
+
+    for (const std::string &name : suite.names()) {
+        std::vector<std::string> row{name};
+        for (size_t i = 0; i < 3; ++i) {
+            RunOutcome rn = m.next();
+            RunOutcome ro = m.next();
             row.push_back(TextTable::pct(rn.icacheMissRate));
             row.push_back(TextTable::fmt(speedup(rn, ro), 3));
         }

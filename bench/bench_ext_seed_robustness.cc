@@ -9,26 +9,20 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "common/threadpool.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
 namespace
 {
 
-struct Sample
-{
-    double ratio;
-    double miss;
-    double cp;
-    double opt;
-};
-
-Sample
-measure(u64 seed, u64 insns)
+BenchProgram
+reroll(u64 seed)
 {
     BenchmarkProfile profile = findProfile("go");
     profile.seed = seed;
@@ -36,20 +30,7 @@ measure(u64 seed, u64 insns)
     bench.profile = nullptr;
     bench.program = generateProgram(profile);
     bench.image = codepack::compress(bench.program);
-
-    Sample s;
-    s.ratio = bench.image.compressionRatio();
-    RunOutcome rn = runMachine(bench, baseline4Issue(), insns);
-    s.miss = rn.icacheMissRate;
-    RunOutcome rc = runMachine(
-        bench, baseline4Issue().withCodeModel(CodeModel::CodePack), insns);
-    RunOutcome ro = runMachine(
-        bench,
-        baseline4Issue().withCodeModel(CodeModel::CodePackOptimized),
-        insns);
-    s.cp = speedup(rn, rc);
-    s.opt = speedup(rn, ro);
-    return s;
+    return bench;
 }
 
 std::string
@@ -68,14 +49,37 @@ main()
 {
     u64 insns = Suite::runInsns() / 2; // 5 seeds: keep the total modest
     const u64 seeds[] = {0x60, 0xbeef, 0x1234, 0xabcd, 0x42424242};
+    const size_t nseeds = std::size(seeds);
+
+    // Program generation is independent per seed; build all five in
+    // parallel before the run matrix (which wants stable pointers).
+    std::vector<BenchProgram> benches(nseeds);
+    {
+        ThreadPool pool;
+        pool.parallelFor(nseeds,
+                         [&](size_t i) { benches[i] = reroll(seeds[i]); });
+    }
+
+    harness::Matrix m;
+    for (const BenchProgram &bench : benches) {
+        m.add(bench, baseline4Issue(), insns);
+        m.add(bench, baseline4Issue().withCodeModel(CodeModel::CodePack),
+              insns);
+        m.add(bench,
+              baseline4Issue().withCodeModel(CodeModel::CodePackOptimized),
+              insns);
+    }
+    m.run();
 
     std::vector<double> ratio, miss, cp, opt;
-    for (u64 seed : seeds) {
-        Sample s = measure(seed, insns);
-        ratio.push_back(s.ratio);
-        miss.push_back(s.miss);
-        cp.push_back(s.cp);
-        opt.push_back(s.opt);
+    for (size_t i = 0; i < nseeds; ++i) {
+        RunOutcome rn = m.next();
+        RunOutcome rc = m.next();
+        RunOutcome ro = m.next();
+        ratio.push_back(benches[i].image.compressionRatio());
+        miss.push_back(rn.icacheMissRate);
+        cp.push_back(speedup(rn, rc));
+        opt.push_back(speedup(rn, ro));
     }
 
     TextTable t;

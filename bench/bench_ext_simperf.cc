@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Extension experiment: host-side simulator performance. Unlike every
+ * other bench, the numbers here are about the *simulator*, not the
+ * simulated machine — how fast the trusted LUT decoder chews through
+ * compressed blocks compared to the checked bit-serial reference, how
+ * many instructions per second the 4-issue model simulates, and the
+ * wall-clock of a full experiment-matrix regeneration serial vs.
+ * parallel (the `runMatrix` engine, worker count from CPS_THREADS).
+ *
+ * Besides the human-readable table the bench writes BENCH_simperf.json
+ * into the working directory so later changes can track the host-perf
+ * trajectory. Wall-clock numbers are machine-dependent by nature; the
+ * JSON records the worker count so readers can normalize.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "codepack/decompressor.hh"
+#include "common/table.hh"
+#include "common/threadpool.hh"
+#include "harness/engine.hh"
+
+using namespace cps;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Blocks decoded per second through @p decode: best of three ~0.2 s
+ * timing windows (the best window is the least disturbed by scheduler
+ * noise — the usual convention for wall-clock microbenchmarks).
+ */
+template <typename Fn>
+double
+blocksPerSecond(u32 num_blocks, Fn &&decode)
+{
+    // Warm up (and fault in the LUT / stream pages) first.
+    for (u32 b = 0; b < num_blocks; ++b)
+        decode(b);
+    double best = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+        u64 decoded = 0;
+        auto start = Clock::now();
+        double elapsed = 0;
+        do {
+            for (u32 b = 0; b < num_blocks; ++b)
+                decode(b);
+            decoded += num_blocks;
+            elapsed = secondsSince(start);
+        } while (elapsed < 0.2);
+        best = std::max(best, static_cast<double>(decoded) / elapsed);
+    }
+    return best;
+}
+
+/** The full-suite speedup matrix used for the wall-clock comparison. */
+std::vector<harness::RunRequest>
+matrixRequests(Suite &suite, u64 insns)
+{
+    std::vector<harness::RunRequest> reqs;
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        for (CodeModel model :
+             {CodeModel::Native, CodeModel::CodePack,
+              CodeModel::CodePackOptimized, CodeModel::CodePackSoftware}) {
+            reqs.push_back({&bench,
+                            baseline4Issue().withCodeModel(model), insns});
+        }
+    }
+    return reqs;
+}
+
+std::string
+grouped(double v)
+{
+    return TextTable::grouped(static_cast<u64>(v));
+}
+
+} // namespace
+
+int
+main()
+{
+    u64 insns = Suite::runInsns();
+    Suite &suite = Suite::instance();
+    suite.pregenerate();
+
+    // --- 1. Trusted LUT decode vs checked bit-serial reference --------
+    const BenchProgram *largest = nullptr;
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        if (!largest ||
+            bench.image.bytes.size() > largest->image.bytes.size())
+            largest = &bench;
+    }
+    codepack::Decompressor decomp(largest->image);
+    u32 blocks = largest->image.numBlocks();
+
+    double lut_bps = blocksPerSecond(blocks, [&](u32 b) {
+        codepack::DecodedBlock blk = decomp.decompressFlatBlock(b);
+        asm volatile("" : : "r"(blk.words[0]) : "memory");
+    });
+    double ref_bps = blocksPerSecond(blocks, [&](u32 b) {
+        auto blk = decomp.tryDecompressBlock(
+            b / codepack::kBlocksPerGroup, b % codepack::kBlocksPerGroup);
+        asm volatile("" : : "r"(blk.value().words[0]) : "memory");
+    });
+    double decode_speedup = lut_bps / ref_bps;
+
+    // --- 2. Simulated instructions per second -------------------------
+    const BenchProgram &go = suite.get("go");
+    auto simRate = [&](const MachineConfig &cfg) {
+        runMachine(go, cfg, 20000); // warm-up
+        double best = 0;
+        for (int rep = 0; rep < 3; ++rep) {
+            u64 simulated = 0;
+            auto start = Clock::now();
+            double elapsed = 0;
+            do {
+                RunOutcome out = runMachine(go, cfg, insns);
+                simulated += out.result.instructions;
+                elapsed = secondsSince(start);
+            } while (elapsed < 0.2);
+            best =
+                std::max(best, static_cast<double>(simulated) / elapsed);
+        }
+        return best;
+    };
+    double native_ips = simRate(baseline4Issue());
+    double cp_ips = simRate(
+        baseline4Issue().withCodeModel(CodeModel::CodePackOptimized));
+
+    // --- 3. Full-matrix regeneration, serial vs parallel --------------
+    std::vector<harness::RunRequest> reqs = matrixRequests(suite, insns);
+    auto timeMatrix = [&](unsigned threads) {
+        auto start = Clock::now();
+        std::vector<RunOutcome> out = harness::runMatrix(reqs, threads);
+        double s = secondsSince(start);
+        asm volatile("" : : "r"(out.data()) : "memory");
+        return s;
+    };
+    unsigned workers = defaultThreadCount();
+    double serial_s = timeMatrix(1);
+    double parallel_s = timeMatrix(workers);
+
+    TextTable t;
+    t.setTitle("Extension: host simulator performance "
+               "(simulator wall-clock, not simulated cycles)");
+    t.addHeader({"Metric", "Value"});
+    t.addRow({"trusted LUT decode",
+              strfmt("%s blocks/s", grouped(lut_bps).c_str())});
+    t.addRow({"checked bit-serial decode",
+              strfmt("%s blocks/s", grouped(ref_bps).c_str())});
+    t.addRow({"LUT speedup over checked", strfmt("%.2fx", decode_speedup)});
+    t.addRow({"4-issue native simulation",
+              strfmt("%s insns/s", grouped(native_ips).c_str())});
+    t.addRow({"4-issue CodePack-opt simulation",
+              strfmt("%s insns/s", grouped(cp_ips).c_str())});
+    t.addRow({"matrix regeneration, serial",
+              strfmt("%.2f s (%zu runs)", serial_s, reqs.size())});
+    t.addRow({strfmt("matrix regeneration, %u workers", workers),
+              strfmt("%.2f s (%.2fx)", parallel_s,
+                     serial_s / (parallel_s > 0 ? parallel_s : 1.0))});
+    t.print();
+
+    // --- JSON trajectory record ---------------------------------------
+    FILE *f = std::fopen("BENCH_simperf.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "could not write BENCH_simperf.json\n");
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"schema\": 1,\n"
+        "  \"decode\": {\n"
+        "    \"lut_blocks_per_sec\": %.0f,\n"
+        "    \"checked_blocks_per_sec\": %.0f,\n"
+        "    \"lut_speedup\": %.3f\n"
+        "  },\n"
+        "  \"simulation\": {\n"
+        "    \"native_insns_per_sec\": %.0f,\n"
+        "    \"codepack_opt_insns_per_sec\": %.0f\n"
+        "  },\n"
+        "  \"matrix\": {\n"
+        "    \"runs\": %zu,\n"
+        "    \"insns_per_run\": %llu,\n"
+        "    \"serial_seconds\": %.3f,\n"
+        "    \"parallel_seconds\": %.3f,\n"
+        "    \"workers\": %u,\n"
+        "    \"speedup\": %.3f\n"
+        "  }\n"
+        "}\n",
+        lut_bps, ref_bps, decode_speedup, native_ips, cp_ips, reqs.size(),
+        static_cast<unsigned long long>(insns), serial_s, parallel_s,
+        workers, serial_s / (parallel_s > 0 ? parallel_s : 1.0));
+    std::fclose(f);
+    std::printf("\nWrote BENCH_simperf.json (schema 1).\n");
+    return 0;
+}

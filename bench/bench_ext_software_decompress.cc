@@ -14,7 +14,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -23,6 +23,7 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     TextTable t;
     t.setTitle("Extension: software-managed decompression "
@@ -30,27 +31,33 @@ main()
     t.addHeader({"Bench", "HW base", "HW opt", "SW 4 cyc/insn",
                  "SW 8 cyc/insn", "SW 16 cyc/insn"});
 
+    harness::Matrix m;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        RunOutcome native = runMachine(bench, baseline1Issue(), insns);
-        RunOutcome hw_base = runMachine(
-            bench, baseline1Issue().withCodeModel(CodeModel::CodePack),
-            insns);
-        RunOutcome hw_opt = runMachine(
-            bench,
-            baseline1Issue().withCodeModel(CodeModel::CodePackOptimized),
-            insns);
-
-        std::vector<std::string> row{
-            name, TextTable::fmt(speedup(native, hw_base), 3),
-            TextTable::fmt(speedup(native, hw_opt), 3)};
+        m.add(bench, baseline1Issue(), insns);
+        m.add(bench, baseline1Issue().withCodeModel(CodeModel::CodePack),
+              insns);
+        m.add(bench,
+              baseline1Issue().withCodeModel(CodeModel::CodePackOptimized),
+              insns);
         for (Cycle per_insn : {4u, 8u, 16u}) {
             MachineConfig cfg = baseline1Issue().withCodeModel(
                 CodeModel::CodePackSoftware);
             cfg.software.cyclesPerInsn = per_insn;
-            RunOutcome sw = runMachine(bench, cfg, insns);
-            row.push_back(TextTable::fmt(speedup(native, sw), 3));
+            m.add(bench, cfg, insns);
         }
+    }
+    m.run();
+
+    for (const std::string &name : suite.names()) {
+        RunOutcome native = m.next();
+        RunOutcome hw_base = m.next();
+        RunOutcome hw_opt = m.next();
+        std::vector<std::string> row{
+            name, TextTable::fmt(speedup(native, hw_base), 3),
+            TextTable::fmt(speedup(native, hw_opt), 3)};
+        for (size_t i = 0; i < 3; ++i)
+            row.push_back(TextTable::fmt(speedup(native, m.next()), 3));
         t.addRow(row);
     }
     t.print();

@@ -10,7 +10,7 @@
  */
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -19,6 +19,7 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     const u32 sizes_kb[] = {1, 4, 16, 64};
 
@@ -28,19 +29,27 @@ main()
     t.addHeader({"Bench", "1KB CP", "1KB Opt", "4KB CP", "4KB Opt",
                  "16KB CP", "16KB Opt", "64KB CP", "64KB Opt"});
 
+    harness::Matrix m;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        std::vector<std::string> row{name};
         for (u32 kb : sizes_kb) {
             MachineConfig native = baseline4Issue();
             native.icache = CacheConfig{kb * 1024, 32, 2};
-            RunOutcome rn = runMachine(bench, native, insns);
-            RunOutcome rc = runMachine(
-                bench, native.withCodeModel(CodeModel::CodePack), insns);
-            RunOutcome ro = runMachine(
-                bench,
-                native.withCodeModel(CodeModel::CodePackOptimized),
-                insns);
+            m.add(bench, native, insns);
+            m.add(bench, native.withCodeModel(CodeModel::CodePack), insns);
+            m.add(bench,
+                  native.withCodeModel(CodeModel::CodePackOptimized),
+                  insns);
+        }
+    }
+    m.run();
+
+    for (const std::string &name : suite.names()) {
+        std::vector<std::string> row{name};
+        for (size_t i = 0; i < 4; ++i) {
+            RunOutcome rn = m.next();
+            RunOutcome rc = m.next();
+            RunOutcome ro = m.next();
             row.push_back(TextTable::fmt(speedup(rn, rc), 3));
             row.push_back(TextTable::fmt(speedup(rn, ro), 3));
         }

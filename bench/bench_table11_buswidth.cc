@@ -10,7 +10,7 @@
  */
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -19,6 +19,7 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     const unsigned widths[] = {16, 32, 64, 128};
 
@@ -28,19 +29,27 @@ main()
     t.addHeader({"Bench", "16b CP", "16b Opt", "32b CP", "32b Opt",
                  "64b CP", "64b Opt", "128b CP", "128b Opt"});
 
+    harness::Matrix m;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        std::vector<std::string> row{name};
         for (unsigned w : widths) {
             MachineConfig native = baseline4Issue();
             native.mem.busWidthBits = w;
-            RunOutcome rn = runMachine(bench, native, insns);
-            RunOutcome rc = runMachine(
-                bench, native.withCodeModel(CodeModel::CodePack), insns);
-            RunOutcome ro = runMachine(
-                bench,
-                native.withCodeModel(CodeModel::CodePackOptimized),
-                insns);
+            m.add(bench, native, insns);
+            m.add(bench, native.withCodeModel(CodeModel::CodePack), insns);
+            m.add(bench,
+                  native.withCodeModel(CodeModel::CodePackOptimized),
+                  insns);
+        }
+    }
+    m.run();
+
+    for (const std::string &name : suite.names()) {
+        std::vector<std::string> row{name};
+        for (size_t i = 0; i < 4; ++i) {
+            RunOutcome rn = m.next();
+            RunOutcome rc = m.next();
+            RunOutcome ro = m.next();
             row.push_back(TextTable::fmt(speedup(rn, rc), 3));
             row.push_back(TextTable::fmt(speedup(rn, ro), 3));
         }

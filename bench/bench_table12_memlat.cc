@@ -9,8 +9,10 @@
  * main-memory accesses.
  */
 
+#include <iterator>
+
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -19,6 +21,7 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     struct Lat { const char *label; Cycle first; Cycle rate; };
     const Lat lats[] = {
@@ -36,20 +39,28 @@ main()
     }
     t.addHeader(header);
 
+    harness::Matrix m;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        std::vector<std::string> row{name};
         for (const Lat &l : lats) {
             MachineConfig native = baseline4Issue();
             native.mem.firstAccess = l.first;
             native.mem.beatRate = l.rate;
-            RunOutcome rn = runMachine(bench, native, insns);
-            RunOutcome rc = runMachine(
-                bench, native.withCodeModel(CodeModel::CodePack), insns);
-            RunOutcome ro = runMachine(
-                bench,
-                native.withCodeModel(CodeModel::CodePackOptimized),
-                insns);
+            m.add(bench, native, insns);
+            m.add(bench, native.withCodeModel(CodeModel::CodePack), insns);
+            m.add(bench,
+                  native.withCodeModel(CodeModel::CodePackOptimized),
+                  insns);
+        }
+    }
+    m.run();
+
+    for (const std::string &name : suite.names()) {
+        std::vector<std::string> row{name};
+        for (size_t i = 0; i < std::size(lats); ++i) {
+            RunOutcome rn = m.next();
+            RunOutcome rc = m.next();
+            RunOutcome ro = m.next();
             row.push_back(TextTable::fmt(speedup(rn, rc), 3));
             row.push_back(TextTable::fmt(speedup(rn, ro), 3));
         }

@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -21,6 +21,7 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     TextTable t;
     t.setTitle("Table 1: Benchmarks (4-issue baseline, " +
@@ -28,13 +29,17 @@ main()
     t.addHeader({"Bench", "Insns executed", "Static text (KB)",
                  "L1 I-miss rate", "Paper I-miss"});
 
+    harness::Matrix m;
+    for (const std::string &name : suite.names())
+        m.add(suite.get(name), baseline4Issue(), insns);
+    m.run();
+
     const char *paper_miss[] = {"6.7%", "6.2%", "0.0%",
                                 "0.1%", "4.4%", "4.6%"};
     int row = 0;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        RunOutcome out =
-            runMachine(bench, baseline4Issue(), insns);
+        const RunOutcome &out = m.next();
         t.addRow({name, TextTable::grouped(out.result.instructions),
                   TextTable::fmt(bench.program.text.bytes.size() / 1024.0,
                                  1),

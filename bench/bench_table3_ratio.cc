@@ -16,6 +16,7 @@ int
 main()
 {
     Suite &suite = Suite::instance();
+    suite.pregenerate(); // generate + compress the suite in parallel
 
     TextTable t;
     t.setTitle("Table 3: Compression ratio of .text section");

@@ -20,6 +20,7 @@ int
 main()
 {
     Suite &suite = Suite::instance();
+    suite.pregenerate(); // generate + compress the suite in parallel
 
     TextTable t;
     t.setTitle("Table 4: Composition of compressed region");

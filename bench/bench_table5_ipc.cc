@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -51,6 +51,7 @@ main()
 
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     TextTable t;
     t.setTitle("Table 5: Instructions per cycle");
@@ -61,18 +62,19 @@ main()
     MachineConfig machines[] = {baseline1Issue(), baseline4Issue(),
                                 baseline8Issue()};
 
-    for (const std::string &name : suite.names()) {
-        const BenchProgram &bench = suite.get(name);
-        std::vector<std::string> row{name};
-        for (const MachineConfig &m : machines) {
+    harness::Matrix mat;
+    for (const std::string &name : suite.names())
+        for (const MachineConfig &m : machines)
             for (CodeModel model :
                  {CodeModel::Native, CodeModel::CodePack,
-                  CodeModel::CodePackOptimized}) {
-                RunOutcome out =
-                    runMachine(bench, m.withCodeModel(model), insns);
-                row.push_back(TextTable::fmt(out.result.ipc(), 3));
-            }
-        }
+                  CodeModel::CodePackOptimized})
+                mat.add(suite.get(name), m.withCodeModel(model), insns);
+    mat.run();
+
+    for (const std::string &name : suite.names()) {
+        std::vector<std::string> row{name};
+        for (size_t i = 0; i < 9; ++i)
+            row.push_back(TextTable::fmt(mat.next().result.ipc(), 3));
         t.addRow(row);
     }
     t.print();

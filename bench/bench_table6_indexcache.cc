@@ -7,7 +7,7 @@
  */
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -25,17 +25,23 @@ main()
                "(during L1 misses, 4-issue, fully associative)");
     t.addHeader({"Lines \\ idx/line", "1", "2", "4", "8"});
 
+    harness::Matrix m;
     for (unsigned nl : lines) {
-        std::vector<std::string> row{TextTable::grouped(nl)};
         for (unsigned ipl : per_line) {
             MachineConfig cfg = baseline4Issue();
             cfg.codeModel = CodeModel::CodePackCustom;
             cfg.decomp.indexCacheLines = nl;
             cfg.decomp.indexesPerLine = ipl;
             cfg.decomp.burstIndexFill = true;
-            RunOutcome out = runMachine(bench, cfg, insns);
-            row.push_back(TextTable::pct(out.indexCacheMissRate));
+            m.add(bench, cfg, insns);
         }
+    }
+    m.run();
+
+    for (unsigned nl : lines) {
+        std::vector<std::string> row{TextTable::grouped(nl)};
+        for (size_t i = 0; i < 4; ++i)
+            row.push_back(TextTable::pct(m.next().indexCacheMissRate));
         t.addRow(row);
     }
     t.addRule();

@@ -10,7 +10,7 @@
  */
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -19,32 +19,39 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     TextTable t;
     t.setTitle("Table 7: Speedup due to index cache "
                "(over native, 4-issue)");
     t.addHeader({"Bench", "CodePack", "Index Cache (64x4)", "Perfect"});
 
+    MachineConfig idx_cfg = baseline4Issue();
+    idx_cfg.codeModel = CodeModel::CodePackCustom;
+    idx_cfg.decomp.indexCacheLines = 64;
+    idx_cfg.decomp.indexesPerLine = 4;
+    idx_cfg.decomp.burstIndexFill = true;
+
+    MachineConfig perf_cfg = baseline4Issue();
+    perf_cfg.codeModel = CodeModel::CodePackCustom;
+    perf_cfg.decomp.perfectIndexCache = true;
+
+    harness::Matrix m;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        RunOutcome native = runMachine(bench, baseline4Issue(), insns);
+        m.add(bench, baseline4Issue(), insns);
+        m.add(bench, baseline4Issue().withCodeModel(CodeModel::CodePack),
+              insns);
+        m.add(bench, idx_cfg, insns);
+        m.add(bench, perf_cfg, insns);
+    }
+    m.run();
 
-        RunOutcome base = runMachine(
-            bench, baseline4Issue().withCodeModel(CodeModel::CodePack),
-            insns);
-
-        MachineConfig idx_cfg = baseline4Issue();
-        idx_cfg.codeModel = CodeModel::CodePackCustom;
-        idx_cfg.decomp.indexCacheLines = 64;
-        idx_cfg.decomp.indexesPerLine = 4;
-        idx_cfg.decomp.burstIndexFill = true;
-        RunOutcome idx = runMachine(bench, idx_cfg, insns);
-
-        MachineConfig perf_cfg = baseline4Issue();
-        perf_cfg.codeModel = CodeModel::CodePackCustom;
-        perf_cfg.decomp.perfectIndexCache = true;
-        RunOutcome perf = runMachine(bench, perf_cfg, insns);
-
+    for (const std::string &name : suite.names()) {
+        RunOutcome native = m.next();
+        RunOutcome base = m.next();
+        RunOutcome idx = m.next();
+        RunOutcome perf = m.next();
         t.addRow({name, TextTable::fmt(speedup(native, base), 3),
                   TextTable::fmt(speedup(native, idx), 3),
                   TextTable::fmt(speedup(native, perf), 3)});

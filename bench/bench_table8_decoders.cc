@@ -9,7 +9,7 @@
  */
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -18,25 +18,32 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     TextTable t;
     t.setTitle("Table 8: Speedup due to decompression rate "
                "(over native, 4-issue)");
     t.addHeader({"Bench", "CodePack (1)", "2 decoders", "16 decoders"});
 
+    harness::Matrix m;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        RunOutcome native = runMachine(bench, baseline4Issue(), insns);
-
-        std::vector<std::string> row{name};
+        m.add(bench, baseline4Issue(), insns);
         for (unsigned rate : {1u, 2u, 16u}) {
             MachineConfig cfg = baseline4Issue();
             cfg.codeModel = CodeModel::CodePackCustom;
             cfg.decomp = codepack::DecompressorConfig{}; // baseline idx
             cfg.decomp.decodeRate = rate;
-            RunOutcome out = runMachine(bench, cfg, insns);
-            row.push_back(TextTable::fmt(speedup(native, out), 3));
+            m.add(bench, cfg, insns);
         }
+    }
+    m.run();
+
+    for (const std::string &name : suite.names()) {
+        RunOutcome native = m.next();
+        std::vector<std::string> row{name};
+        for (size_t i = 0; i < 3; ++i)
+            row.push_back(TextTable::fmt(speedup(native, m.next()), 3));
         t.addRow(row);
     }
     t.print();

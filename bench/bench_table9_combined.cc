@@ -9,7 +9,7 @@
  */
 
 #include "common/table.hh"
-#include "harness/suite.hh"
+#include "harness/engine.hh"
 
 using namespace cps;
 
@@ -18,37 +18,43 @@ main()
 {
     u64 insns = Suite::runInsns();
     Suite &suite = Suite::instance();
+    suite.pregenerate();
 
     TextTable t;
     t.setTitle("Table 9: Comparison of optimizations "
                "(speedup over native, 4-issue)");
     t.addHeader({"Bench", "CodePack", "Index", "Decompress", "All"});
 
+    MachineConfig idx_cfg = baseline4Issue();
+    idx_cfg.codeModel = CodeModel::CodePackCustom;
+    idx_cfg.decomp.indexCacheLines = 64;
+    idx_cfg.decomp.indexesPerLine = 4;
+    idx_cfg.decomp.burstIndexFill = true;
+
+    MachineConfig dec_cfg = baseline4Issue();
+    dec_cfg.codeModel = CodeModel::CodePackCustom;
+    dec_cfg.decomp.decodeRate = 2;
+
+    harness::Matrix m;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        RunOutcome native = runMachine(bench, baseline4Issue(), insns);
+        m.add(bench, baseline4Issue(), insns);
+        m.add(bench, baseline4Issue().withCodeModel(CodeModel::CodePack),
+              insns);
+        m.add(bench, idx_cfg, insns);
+        m.add(bench, dec_cfg, insns);
+        m.add(bench,
+              baseline4Issue().withCodeModel(CodeModel::CodePackOptimized),
+              insns);
+    }
+    m.run();
 
-        RunOutcome base = runMachine(
-            bench, baseline4Issue().withCodeModel(CodeModel::CodePack),
-            insns);
-
-        MachineConfig idx_cfg = baseline4Issue();
-        idx_cfg.codeModel = CodeModel::CodePackCustom;
-        idx_cfg.decomp.indexCacheLines = 64;
-        idx_cfg.decomp.indexesPerLine = 4;
-        idx_cfg.decomp.burstIndexFill = true;
-        RunOutcome idx = runMachine(bench, idx_cfg, insns);
-
-        MachineConfig dec_cfg = baseline4Issue();
-        dec_cfg.codeModel = CodeModel::CodePackCustom;
-        dec_cfg.decomp.decodeRate = 2;
-        RunOutcome dec = runMachine(bench, dec_cfg, insns);
-
-        RunOutcome all = runMachine(
-            bench,
-            baseline4Issue().withCodeModel(CodeModel::CodePackOptimized),
-            insns);
-
+    for (const std::string &name : suite.names()) {
+        RunOutcome native = m.next();
+        RunOutcome base = m.next();
+        RunOutcome idx = m.next();
+        RunOutcome dec = m.next();
+        RunOutcome all = m.next();
         t.addRow({name, TextTable::fmt(speedup(native, base), 3),
                   TextTable::fmt(speedup(native, idx), 3),
                   TextTable::fmt(speedup(native, dec), 3),

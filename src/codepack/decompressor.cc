@@ -1,5 +1,8 @@
 #include "decompressor.hh"
 
+#include <bit>
+#include <cstring>
+
 #include "common/bitstream.hh"
 #include "common/logging.hh"
 
@@ -104,12 +107,98 @@ Decompressor::tryDecompressBlock(u32 group, u32 block) const
     return out;
 }
 
+bool
+Decompressor::fastDecompressBlock(u32 group, u32 block,
+                                  DecodedBlock &out) const
+{
+    if (group >= img_.numGroups() || block >= kBlocksPerGroup)
+        return false;
+
+    u32 entry = img_.indexTable[group];
+    u32 first = idxFirstOffset(entry);
+    if (block == 0) {
+        out.byteOffset = first;
+        out.raw = idxFirstRaw(entry);
+        out.byteLen = out.raw ? kRawBlockBytes : idxSecondOffset(entry);
+    } else {
+        out.byteOffset = first + idxSecondOffset(entry);
+        out.raw = idxSecondRaw(entry);
+        out.byteLen = out.raw ? kRawBlockBytes : 0;
+    }
+    if (out.byteOffset > img_.bytes.size())
+        return false;
+
+    if (out.raw) {
+        if (out.byteOffset + kRawBlockBytes > img_.bytes.size())
+            return false;
+        const u8 *p = img_.bytes.data() + out.byteOffset;
+        for (unsigned i = 0; i < kBlockInsns; ++i) {
+            u32 w;
+            std::memcpy(&w, p + i * 4, 4);
+            if constexpr (std::endian::native == std::endian::big)
+                w = __builtin_bswap32(w);
+            out.words[i] = w;
+            out.endBit[i] = (i + 1) * 32;
+        }
+        return true;
+    }
+
+    BitReader br(img_.bytes.data() + out.byteOffset,
+                 img_.bytes.size() - out.byteOffset);
+    constexpr unsigned kLut = Dictionary::kLutBits;
+    const u32 *hlut = img_.highDict.lutData();
+    const u32 *llut = img_.lowDict.lutData();
+    for (unsigned i = 0; i < kBlockInsns; ++i) {
+        // Fused probe: one peek covers both halfword codewords (the
+        // high codeword is at most kLut bits, so the low probe always
+        // fits inside a 2*kLut-bit window). Raw escapes, unpopulated
+        // indexes and end-of-stream truncation drop to the per-symbol
+        // readFast path, which re-peeks from the same position.
+        u32 bits = br.peekPadded(2 * kLut);
+        u32 eh = hlut[bits >> kLut];
+        if (Dictionary::lutIsValue(eh)) {
+            unsigned lh = Dictionary::lutLen(eh);
+            u32 el = llut[(bits >> (kLut - lh)) & ((1u << kLut) - 1)];
+            if (Dictionary::lutIsValue(el)) {
+                unsigned ll = Dictionary::lutLen(el);
+                if (br.trySkip(lh + ll)) {
+                    out.words[i] =
+                        (static_cast<u32>(Dictionary::lutValue(eh))
+                         << 16) |
+                        Dictionary::lutValue(el);
+                    out.endBit[i] = static_cast<u32>(br.bitPos());
+                    continue;
+                }
+            }
+        }
+        u16 hi, lo;
+        if (!img_.highDict.readFast(br, hi) ||
+            !img_.lowDict.readFast(br, lo))
+            return false;
+        out.words[i] = (static_cast<u32>(hi) << 16) | lo;
+        out.endBit[i] = static_cast<u32>(br.bitPos());
+    }
+    u32 used_bytes = static_cast<u32>((br.bitPos() + 7) / 8);
+    if (block == 0) {
+        if (out.byteLen != used_bytes)
+            return false; // index/stream disagreement
+    } else {
+        out.byteLen = used_bytes;
+    }
+    return true;
+}
+
 DecodedBlock
 Decompressor::decompressBlock(u32 group, u32 block) const
 {
+    DecodedBlock out;
+    if (fastDecompressBlock(group, block, out))
+        return out;
+    // The LUT kernel bailed: re-decode through the checked bit-serial
+    // reference path for the precise diagnostic. Trusted path: the
+    // image was produced in-process, so failure here is a simulator
+    // bug, not bad input.
     Result<DecodedBlock> r = tryDecompressBlock(group, block);
-    // Trusted path: the image was produced in-process, so failure here
-    // is a simulator bug, not bad input.
     if (!r)
         cps_panic("decompressBlock on corrupt image: %s",
                   r.error().describe().c_str());
@@ -149,6 +238,31 @@ Decompressor::tryDecompressAll() const
     }
     out.resize(img_.origTextBytes / 4); // drop the NOP padding
     return out;
+}
+
+BlockCache::BlockCache(const Decompressor &decomp, unsigned slots)
+    : decomp_(decomp)
+{
+    unsigned n = 1;
+    while (n < slots)
+        n <<= 1;
+    slots_.resize(n);
+    mask_ = n - 1;
+}
+
+const DecodedBlock &
+BlockCache::get(u32 group, u32 block)
+{
+    u32 flat = group * kBlocksPerGroup + block;
+    Slot &slot = slots_[flat & mask_];
+    if (slot.flat == flat) {
+        ++hits_;
+        return slot.blk;
+    }
+    slot.blk = decomp_.decompressBlock(group, block);
+    slot.flat = flat;
+    ++fills_;
+    return slot.blk;
 }
 
 Result<void>

@@ -49,6 +49,10 @@ class Decompressor
      * hot path uses this on images it compressed itself; anything that
      * came off disk should be decoded via tryDecompressBlock (or fully
      * vetted with tryDecompressAll once at load).
+     *
+     * Decoding runs through the dictionaries' single-pass LUT kernel;
+     * any anomaly falls back to the checked bit-serial path so the
+     * panic diagnostics are identical to tryDecompressBlock's errors.
      */
     DecodedBlock decompressBlock(u32 group, u32 block) const;
 
@@ -81,7 +85,53 @@ class Decompressor
     const CompressedImage &image() const { return img_; }
 
   private:
+    /**
+     * LUT fast path shared by decompressBlock. Returns false (leaving
+     * @p out unspecified) when the stream needs the checked decoder —
+     * the caller re-decodes via tryDecompressBlock for the diagnostic.
+     */
+    bool fastDecompressBlock(u32 group, u32 block, DecodedBlock &out) const;
+
     const CompressedImage &img_;
+};
+
+/**
+ * Host-side memo of decoded blocks, keyed by (group, block). The
+ * simulated decompressor hardware re-decodes a block on every I-cache
+ * miss; functionally the result never changes, so the host keeps the
+ * last N decoded blocks in a direct-mapped cache and skips the decode
+ * entirely on a hit. Purely a host optimization: simulated timing and
+ * statistics are computed from the returned block exactly as before.
+ * Not thread-safe; each Machine owns its own instance.
+ */
+class BlockCache
+{
+  public:
+    /**
+     * @param decomp the decompressor to memoize (must outlive the cache)
+     * @param slots direct-mapped slot count (rounded up to a power of 2)
+     */
+    explicit BlockCache(const Decompressor &decomp, unsigned slots = 64);
+
+    /** The decoded block, from the memo when present. */
+    const DecodedBlock &get(u32 group, u32 block);
+
+    u64 hits() const { return hits_; }
+    u64 fills() const { return fills_; }
+
+  private:
+    struct Slot
+    {
+        u32 flat = kInvalid;
+        DecodedBlock blk;
+    };
+    static constexpr u32 kInvalid = ~0u;
+
+    const Decompressor &decomp_;
+    std::vector<Slot> slots_;
+    u32 mask_;
+    u64 hits_ = 0;
+    u64 fills_ = 0;
 };
 
 /**

@@ -15,6 +15,7 @@ Dictionary::Dictionary(Kind kind)
       numBanks_(kind == Kind::High ? kNumHighBanks : kNumLowBanks)
 {
     entries_.resize(numBanks_);
+    buildLut();
 }
 
 Dictionary
@@ -59,6 +60,7 @@ Dictionary::build(Kind kind, const std::unordered_map<u16, u64> &counts)
             ++cursor;
         }
     }
+    dict.buildLut();
     return dict;
 }
 
@@ -86,6 +88,7 @@ Dictionary::fromBankEntries(Kind kind,
             dict.lookup_[entries[b][i]] = enc;
         }
     }
+    dict.buildLut();
     return dict;
 }
 
@@ -169,6 +172,38 @@ Dictionary::read(BitReader &br) const
     unsigned bank = two;
     u32 index = br.get(banks_[bank].indexBits);
     return lookup(bank, index);
+}
+
+void
+Dictionary::buildLut()
+{
+    lut_.assign(1u << kLutBits, lutEntry(0, 0, kLutInvalid));
+    // Every pattern whose top bits match `code` (length `len`) resolves
+    // to `entry`: fill all 2^(kLutBits-len) suffix slots.
+    auto fill = [&](u32 code, unsigned len, u32 entry) {
+        unsigned shift = kLutBits - len;
+        u32 base = code << shift;
+        for (u32 s = 0; s < (1u << shift); ++s)
+            lut_[base + s] = entry;
+    };
+
+    fill(kTagRaw, 3, lutEntry(0, 3, kLutRaw));
+    if (kind_ == Kind::Low)
+        fill(kTag0, kLowZeroBits, lutEntry(0, kLowZeroBits, kLutValue));
+    for (unsigned b = 0; b < numBanks_; ++b) {
+        const Bank &bank = banks_[b];
+        unsigned len = bank.codeBits();
+        for (u32 i = 0; i < bank.entries(); ++i) {
+            u32 code = (bank.tag << bank.indexBits) | i;
+            // Indexes beyond the bank's population are encodable bit
+            // patterns that no valid stream contains; they go to the
+            // checked path for its RangeError.
+            u32 entry = i < entries_[b].size()
+                            ? lutEntry(entries_[b][i], len, kLutValue)
+                            : lutEntry(0, len, kLutInvalid);
+            fill(code, len, entry);
+        }
+    }
 }
 
 Result<u16>

@@ -99,6 +99,41 @@ class Dictionary
     u16 read(BitReader &br) const;
 
     /**
+     * Single-pass LUT decode for trusted streams: peeks kLutBits bits
+     * and resolves {value, codeword length} in one table hit (a raw
+     * escape costs one extra 16-bit read). Returns false — consuming
+     * nothing — when the stream needs the checked path instead: a
+     * truncated codeword or an index beyond a bank's population. The
+     * caller falls back to read()/tryRead(), which reproduce the exact
+     * panic or DecodeStatus the bit-serial reference decoder gives.
+     */
+    bool
+    readFast(BitReader &br, u16 &out) const
+    {
+        // Inline: this runs once per halfword on the trusted decode
+        // path, and an out-of-line call here costs as much as the
+        // table hit itself.
+        u32 e = lut_[br.peekPadded(kLutBits)];
+        unsigned kind = (e >> 24) & 0x7;
+        unsigned len = (e >> 16) & 0xff;
+        if (kind == kLutValue) {
+            if (len > br.remaining())
+                return false; // truncated codeword
+            br.skip(len);
+            out = static_cast<u16>(e & 0xffff);
+            return true;
+        }
+        if (kind == kLutRaw) {
+            if (3 + kRawLiteralBits > br.remaining())
+                return false; // truncated literal
+            br.skip(3);
+            out = static_cast<u16>(br.get(kRawLiteralBits));
+            return true;
+        }
+        return false; // unpopulated dictionary index
+    }
+
+    /**
      * Checked variant of read() for untrusted bitstreams: a truncated
      * codeword or a dictionary index beyond a bank's population comes
      * back as a structured error (with the failing bit offset) instead
@@ -110,12 +145,63 @@ class Dictionary
     /** Entries of bank @p bank (for dumps and tests). */
     const std::vector<u16> &bankEntries(unsigned bank) const;
 
+    /** Bits the decode LUT indexes on (the longest non-raw codeword). */
+    static constexpr unsigned kLutBits = 11;
+
+    /**
+     * Raw decode-LUT probe for fused decoders that peek the bits for
+     * several codewords at once (see Decompressor's block kernel):
+     * @p bits are the next kLutBits of stream. Decode the returned
+     * entry with lutIsValue()/lutLen()/lutValue(); anything that is not
+     * a plain in-bank value (raw escape, unpopulated index) must be
+     * re-decoded through readFast()/tryRead().
+     */
+    u32 lutProbe(u32 bits) const { return lut_[bits]; }
+
+    /**
+     * The LUT itself (1 << kLutBits entries), for decode loops that
+     * want the table pointer hoisted out of the per-symbol path.
+     */
+    const u32 *lutData() const { return lut_.data(); }
+
+    /** Whether LUT entry @p e resolved to an in-bank halfword value. */
+    static constexpr bool
+    lutIsValue(u32 e)
+    {
+        return ((e >> 24) & 0x7) == kLutValue;
+    }
+
+    /** Consumed codeword length of LUT entry @p e, in bits. */
+    static constexpr unsigned lutLen(u32 e) { return (e >> 16) & 0xff; }
+
+    /** Decoded halfword of a value-kind LUT entry @p e. */
+    static constexpr u16
+    lutValue(u32 e)
+    {
+        return static_cast<u16>(e & 0xffff);
+    }
+
   private:
+    // Decode-LUT entry layout: value in [15:0], consumed bit count in
+    // [23:16], kind in [26:24].
+    enum LutKind : u32 { kLutValue = 0, kLutRaw = 1, kLutInvalid = 2 };
+
+    static constexpr u32
+    lutEntry(u16 value, unsigned len, LutKind kind)
+    {
+        return static_cast<u32>(value) | (static_cast<u32>(len) << 16) |
+               (static_cast<u32>(kind) << 24);
+    }
+
+    /** Rebuilds lut_ from entries_ (called whenever banks change). */
+    void buildLut();
+
     Kind kind_;
     const Bank *banks_;
     unsigned numBanks_;
     std::vector<std::vector<u16>> entries_;       // per bank
     std::unordered_map<u16, HalfEncoding> lookup_; // value -> encoding
+    std::vector<u32> lut_;                        // 1 << kLutBits entries
 };
 
 } // namespace codepack

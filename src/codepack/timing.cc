@@ -12,7 +12,7 @@ DecompressorModel::DecompressorModel(const CompressedImage &img,
                                      MainMemory &mem,
                                      const DecompressorConfig &cfg,
                                      StatSet &stats)
-    : img_(img), decomp_(img), mem_(mem), cfg_(cfg),
+    : img_(img), decomp_(img), blockCache_(decomp_), mem_(mem), cfg_(cfg),
       idxCache_(cfg.indexCacheLines, cfg.indexesPerLine),
       statMisses_(stats.scalar("decomp.misses")),
       statBufferHits_(stats.scalar("decomp.buffer_hits")),
@@ -93,7 +93,7 @@ DecompressorModel::handleMiss(Addr line_addr, Cycle now)
 
     // 3. Burst-read the compressed block. The burst starts at the bus
     //    boundary containing the block's first byte.
-    DecodedBlock blk = decomp_.decompressBlock(group, block);
+    const DecodedBlock &blk = blockCache_.get(group, block);
     unsigned bus_bytes = mem_.timing().busBytes();
     u32 start = static_cast<u32>(
         roundDown(blk.byteOffset, bus_bytes));

@@ -118,6 +118,11 @@ class DecompressorModel
   private:
     const CompressedImage &img_;
     Decompressor decomp_;
+    // Host-side memo: simulated hardware re-decodes a block on every
+    // miss, but the functional result never changes, so the host reuses
+    // it. reset() deliberately leaves the memo alone — it holds pure
+    // functions of the (immutable) image, not simulated state.
+    BlockCache blockCache_;
     MainMemory &mem_;
     DecompressorConfig cfg_;
     IndexCache idxCache_;

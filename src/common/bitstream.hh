@@ -12,7 +12,9 @@
 #ifndef CPS_COMMON_BITSTREAM_HH
 #define CPS_COMMON_BITSTREAM_HH
 
+#include <bit>
 #include <cstddef>
+#include <cstring>
 #include <vector>
 
 #include "logging.hh"
@@ -109,9 +111,9 @@ class BitReader
     get(unsigned width)
     {
         cps_assert(width <= 32, "bit width out of range");
-        u32 out = 0;
-        for (unsigned i = 0; i < width; ++i)
-            out = (out << 1) | getBit();
+        cps_assert(width <= remaining(), "bitstream underrun");
+        u32 out = extract(cursor_, width);
+        cursor_ += width;
         return out;
     }
 
@@ -145,10 +147,46 @@ class BitReader
     u32
     peek(unsigned width)
     {
-        size_t save = cursor_;
-        u32 out = get(width);
-        cursor_ = save;
-        return out;
+        cps_assert(width <= 32, "bit width out of range");
+        cps_assert(width <= remaining(), "bitstream underrun");
+        return extract(cursor_, width);
+    }
+
+    /**
+     * Peeks @p width bits without consuming them; bits beyond the end of
+     * the stream read as zero. This is the single-pass decode-LUT probe:
+     * the decoder peeks the longest possible codeword unconditionally and
+     * only afterwards checks the resolved length against remaining().
+     */
+    u32
+    peekPadded(unsigned width)
+    {
+        cps_assert(width <= 32, "bit width out of range");
+        if (cursor_ >= bitCount_)
+            return 0;
+        return extract(cursor_, width);
+    }
+
+    /** Skips @p width bits (they must be available). */
+    void
+    skip(unsigned width)
+    {
+        cps_assert(width <= remaining(), "bitstream underrun");
+        cursor_ += width;
+    }
+
+    /**
+     * Skips @p width bits when available; returns false (cursor
+     * unmoved) on underrun. The check-and-consume step of LUT-resolved
+     * codewords, fused so the decode loop pays one compare.
+     */
+    [[nodiscard]] bool
+    trySkip(unsigned width)
+    {
+        if (width > remaining())
+            return false;
+        cursor_ += width;
+        return true;
     }
 
     /** Skips forward to the next byte boundary. */
@@ -180,9 +218,54 @@ class BitReader
     size_t remaining() const { return bitsLeft(); }
 
   private:
+    /**
+     * Extracts @p width bits starting at absolute bit @p bit from a
+     * cached 64-bit big-endian window anchored at byte windowByte_. The
+     * window is only refilled when the requested field is not fully
+     * inside it (or lies before it, after a backward seek); a refill
+     * anchors the window at the field's first byte, so the in-window
+     * offset is at most 7 and one 8-byte load always covers a field of
+     * up to 32 bits. Consecutive reads therefore share one load for
+     * ~32+ bits of stream instead of refilling per symbol. Bits beyond
+     * the end of the stream read as zero.
+     */
+    u32
+    extract(size_t bit, unsigned width)
+    {
+        if (width == 0)
+            return 0;
+        size_t byte = bit >> 3;
+        if (byte < windowByte_ ||
+            bit + width > (windowByte_ << 3) + 64) {
+            window_ = loadWindow(byte);
+            windowByte_ = byte;
+        }
+        unsigned off = static_cast<unsigned>(bit - (windowByte_ << 3));
+        return static_cast<u32>((window_ << off) >> (64 - width));
+    }
+
+    /** Loads 8 bytes at @p byte as a big-endian word, zero-padded. */
+    u64
+    loadWindow(size_t byte) const
+    {
+        size_t bytes = (bitCount_ + 7) / 8;
+        u64 w = 0;
+        if (byte + 8 <= bytes) {
+            std::memcpy(&w, data_ + byte, 8);
+            if constexpr (std::endian::native == std::endian::little)
+                w = __builtin_bswap64(w);
+        } else {
+            for (size_t i = 0; byte + i < bytes && i < 8; ++i)
+                w |= static_cast<u64>(data_[byte + i]) << (56 - 8 * i);
+        }
+        return w;
+    }
+
     const u8 *data_;
     size_t bitCount_;
     size_t cursor_ = 0;
+    u64 window_ = 0;
+    size_t windowByte_ = static_cast<size_t>(-1); ///< byte window_ covers
 };
 
 } // namespace cps

@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace cps
 {
@@ -13,6 +14,18 @@ namespace
 
 std::atomic<unsigned long> numWarnings{0};
 std::atomic<bool> quietMode{false};
+
+// Diagnostics from worker threads must not interleave: each message is
+// fully formatted first, then written to stderr in a single fputs under
+// this mutex.
+std::mutex stderrMutex;
+
+void
+writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(stderrMutex);
+    std::fputs(line.c_str(), stderr);
+}
 
 } // namespace
 
@@ -47,7 +60,7 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine(strfmt("panic: %s (%s:%d)\n", msg.c_str(), file, line));
     std::abort();
 }
 
@@ -58,7 +71,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine(strfmt("fatal: %s (%s:%d)\n", msg.c_str(), file, line));
     std::exit(1);
 }
 
@@ -72,7 +85,7 @@ warnImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    writeLine("warn: " + msg + "\n");
 }
 
 void
@@ -84,7 +97,7 @@ informImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    writeLine("info: " + msg + "\n");
 }
 
 unsigned long

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for host-side parallelism.
+ *
+ * The simulator itself stays single-threaded per Machine; the pool
+ * exists so independent (benchmark x machine-config) runs — and other
+ * embarrassingly parallel host work like benchmark generation — can use
+ * every core. Tasks carry no return value; callers write results into
+ * pre-sized slots so completion order never affects output order.
+ */
+
+#ifndef CPS_COMMON_THREADPOOL_HH
+#define CPS_COMMON_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cps
+{
+
+/**
+ * Worker count policy: the CPS_THREADS environment variable when set to
+ * a positive integer, otherwise std::thread::hardware_concurrency()
+ * (minimum 1). Malformed values warn once and fall back to the default.
+ */
+unsigned defaultThreadCount();
+
+/** A fixed pool of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Starts the workers.
+     * @param threads worker count; 0 means defaultThreadCount()
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Waits for all submitted tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueues @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Blocks until every submitted task has finished. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Runs fn(0..n-1) across the pool and waits for completion. Tasks
+     * are claimed in index order; any slot-indexed output the callback
+     * writes is therefore deterministic regardless of thread count.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    size_t pending_ = 0; // queued + running tasks
+    bool stopping_ = false;
+};
+
+} // namespace cps
+
+#endif // CPS_COMMON_THREADPOOL_HH

@@ -1,0 +1,36 @@
+#include "engine.hh"
+
+#include "common/logging.hh"
+#include "common/threadpool.hh"
+
+namespace cps
+{
+namespace harness
+{
+
+std::vector<RunOutcome>
+runMatrix(const std::vector<RunRequest> &requests, unsigned threads)
+{
+    for (const RunRequest &r : requests)
+        cps_assert(r.bench != nullptr, "runMatrix request without bench");
+
+    std::vector<RunOutcome> outcomes(requests.size());
+    if (threads == 0)
+        threads = defaultThreadCount();
+    if (threads <= 1 || requests.size() <= 1) {
+        for (size_t i = 0; i < requests.size(); ++i)
+            outcomes[i] = runMachine(*requests[i].bench, requests[i].cfg,
+                                     requests[i].maxInsns);
+        return outcomes;
+    }
+
+    ThreadPool pool(threads);
+    pool.parallelFor(requests.size(), [&](size_t i) {
+        outcomes[i] = runMachine(*requests[i].bench, requests[i].cfg,
+                                 requests[i].maxInsns);
+    });
+    return outcomes;
+}
+
+} // namespace harness
+} // namespace cps

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Parallel experiment engine: fans a matrix of independent, deterministic
+ * (benchmark x machine-config) timed runs out across a thread pool and
+ * returns the outcomes in submission order.
+ *
+ * Determinism contract: every Machine is self-contained (its own stats,
+ * memory, caches and decompressor state), each run writes only its own
+ * pre-allocated outcome slot, and the caller does all printing after
+ * collection — so a table binary's stdout is byte-identical at any
+ * CPS_THREADS value, including 1 (which runs inline with no pool).
+ */
+
+#ifndef CPS_HARNESS_ENGINE_HH
+#define CPS_HARNESS_ENGINE_HH
+
+#include <vector>
+
+#include "suite.hh"
+
+namespace cps
+{
+namespace harness
+{
+
+/** One cell of an experiment matrix. */
+struct RunRequest
+{
+    const BenchProgram *bench = nullptr; ///< must outlive runMatrix()
+    MachineConfig cfg;
+    u64 maxInsns = 0;
+};
+
+/**
+ * Runs every request (each through runMachine) and returns the outcomes
+ * in submission order.
+ * @param requests the matrix cells; each bench pointer must be valid
+ * @param threads worker count; 0 means defaultThreadCount()
+ */
+std::vector<RunOutcome> runMatrix(const std::vector<RunRequest> &requests,
+                                  unsigned threads = 0);
+
+/**
+ * A request batch that keeps the submit-then-consume shape of the table
+ * binaries readable: add() cells inside the same nested loops that will
+ * later format the rows, run() once, then take() the outcomes in the
+ * same order.
+ */
+class Matrix
+{
+  public:
+    /** Queues one run; returns its slot index. */
+    size_t
+    add(const BenchProgram &bench, const MachineConfig &cfg, u64 max_insns)
+    {
+        requests_.push_back(RunRequest{&bench, cfg, max_insns});
+        return requests_.size() - 1;
+    }
+
+    /** Executes all queued runs (parallel; see runMatrix). */
+    void
+    run(unsigned threads = 0)
+    {
+        outcomes_ = runMatrix(requests_, threads);
+        cursor_ = 0;
+    }
+
+    /** Number of queued requests. */
+    size_t size() const { return requests_.size(); }
+
+    /** The outcome of slot @p i (valid after run()). */
+    const RunOutcome &outcome(size_t i) const { return outcomes_.at(i); }
+
+    /** The next outcome in submission order (valid after run()). */
+    const RunOutcome &
+    next()
+    {
+        return outcomes_.at(cursor_++);
+    }
+
+  private:
+    std::vector<RunRequest> requests_;
+    std::vector<RunOutcome> outcomes_;
+    size_t cursor_ = 0;
+};
+
+} // namespace harness
+} // namespace cps
+
+#endif // CPS_HARNESS_ENGINE_HH

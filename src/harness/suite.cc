@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 
 namespace cps
 {
@@ -20,33 +21,73 @@ Suite::instance()
     return suite;
 }
 
-const BenchProgram &
-Suite::get(const std::string &name)
+std::unique_ptr<BenchProgram>
+Suite::build(const std::string &name)
 {
-    auto it = cache_.find(name);
-    if (it != cache_.end())
-        return *it->second;
-
     auto bench = std::make_unique<BenchProgram>();
     bench->profile = &findProfile(name);
     bench->program = generateProgram(*bench->profile);
     bench->image = codepack::compress(bench->program);
-    const BenchProgram &ref = *bench;
-    cache_.emplace(name, std::move(bench));
-    return ref;
+    return bench;
+}
+
+const BenchProgram &
+Suite::get(const std::string &name)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(name);
+        if (it != cache_.end())
+            return *it->second;
+    }
+    // Generate outside the lock so concurrent get()s of different
+    // benchmarks don't serialize; if two threads race on the same name
+    // the second result is discarded (generation is deterministic).
+    std::unique_ptr<BenchProgram> bench = build(name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = cache_.emplace(name, std::move(bench));
+    (void)inserted;
+    return *it->second;
+}
+
+void
+Suite::pregenerate(unsigned threads)
+{
+    std::vector<std::string> missing;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const std::string &name : names_)
+            if (cache_.find(name) == cache_.end())
+                missing.push_back(name);
+    }
+    if (missing.empty())
+        return;
+    if (threads == 0)
+        threads = defaultThreadCount();
+    if (threads <= 1 || missing.size() <= 1) {
+        for (const std::string &name : missing)
+            get(name);
+        return;
+    }
+    ThreadPool pool(threads);
+    pool.parallelFor(missing.size(),
+                     [&](size_t i) { get(missing[i]); });
 }
 
 u64
 Suite::runInsns()
 {
-    if (const char *env = std::getenv("CPS_INSNS")) {
-        char *end = nullptr;
-        unsigned long long v = std::strtoull(env, &end, 10);
-        if (end && *end == '\0' && v > 0)
-            return v;
-        cps_warn("ignoring malformed CPS_INSNS='%s'", env);
-    }
-    return 1000000;
+    static const u64 cached = [] {
+        if (const char *env = std::getenv("CPS_INSNS")) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(env, &end, 10);
+            if (end && *end == '\0' && v > 0)
+                return static_cast<u64>(v);
+            cps_warn("ignoring malformed CPS_INSNS='%s'", env);
+        }
+        return u64{1000000};
+    }();
+    return cached;
 }
 
 RunOutcome
@@ -62,6 +103,7 @@ runMachine(const BenchProgram &bench, const MachineConfig &cfg,
     out.indexCacheMissRate = machine.indexCacheMissRate();
     out.icacheMisses = machine.stats().value("icache.misses");
     out.bufferHits = machine.stats().value("decomp.buffer_hits");
+    out.missLatencyTotal = machine.stats().value("icache.miss_latency_total");
     return out;
 }
 

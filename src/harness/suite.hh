@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,11 @@ struct BenchProgram
     codepack::CompressedImage image;
 };
 
-/** Process-wide cache of generated benchmarks. */
+/**
+ * Process-wide cache of generated benchmarks. Thread-safe: get() and
+ * pregenerate() may be called from any thread (the cache is
+ * mutex-guarded and entries have stable addresses once published).
+ */
 class Suite
 {
   public:
@@ -39,17 +44,32 @@ class Suite
     const BenchProgram &get(const std::string &name);
 
     /**
+     * Generates and compresses every standard benchmark that is not in
+     * the cache yet, fanning the independent generations out across the
+     * thread pool (each profile has its own RNG seed, so the result is
+     * identical to serial generation). Table binaries that touch the
+     * whole suite call this once up front.
+     * @param threads worker count; 0 means defaultThreadCount()
+     */
+    void pregenerate(unsigned threads = 0);
+
+    /**
      * Dynamic instructions per timing run. Defaults to 1,000,000;
-     * override with the CPS_INSNS environment variable. (The paper ran
-     * >1e9 instructions; our synthetic workloads reach steady state
-     * within well under 1e6 — see DESIGN.md "Substitutions".)
+     * override with the CPS_INSNS environment variable, which is read
+     * once (the first call caches the value). (The paper ran >1e9
+     * instructions; our synthetic workloads reach steady state within
+     * well under 1e6 — see DESIGN.md "Substitutions".)
      */
     static u64 runInsns();
 
   private:
     Suite();
 
+    /** Builds (without publishing) the benchmark for @p name. */
+    static std::unique_ptr<BenchProgram> build(const std::string &name);
+
     std::vector<std::string> names_;
+    std::mutex mutex_; // guards cache_
     std::map<std::string, std::unique_ptr<BenchProgram>> cache_;
 };
 
@@ -61,6 +81,7 @@ struct RunOutcome
     double indexCacheMissRate = 0.0;
     u64 icacheMisses = 0;
     u64 bufferHits = 0;
+    u64 missLatencyTotal = 0; ///< sum of critical-word miss latencies
 };
 
 /** Builds a machine for @p bench under @p cfg and runs it. */

@@ -49,7 +49,7 @@ class SoftwareCodePackFetchPath : public CachedFetchPath
                               const SoftwareDecompressConfig &cfg,
                               StatSet &stats)
         : CachedFetchPath(icache_cfg, stats), img_(img), decomp_(img),
-          mem_(mem), cfg_(cfg),
+          blockCache_(decomp_), mem_(mem), cfg_(cfg),
           statTraps_(stats.scalar("swdecomp.traps")),
           statBufferHits_(stats.scalar("swdecomp.buffer_hits"))
     {}
@@ -89,8 +89,10 @@ class SoftwareCodePackFetchPath : public CachedFetchPath
         }
 
         // Burst the compressed block into the DMA buffer; the handler
-        // only starts decoding once the transfer is complete.
-        codepack::DecodedBlock blk = decomp_.decompressBlock(group, block);
+        // only starts decoding once the transfer is complete. The host
+        // memoizes the functional decode by (group, block); the
+        // simulated handler still pays full decode cycles below.
+        const codepack::DecodedBlock &blk = blockCache_.get(group, block);
         BurstResult burst =
             mem_.burstRead(t, std::max<u32>(blk.byteLen, 1));
         t = burst.done;
@@ -120,6 +122,7 @@ class SoftwareCodePackFetchPath : public CachedFetchPath
   private:
     const codepack::CompressedImage &img_;
     codepack::Decompressor decomp_;
+    codepack::BlockCache blockCache_;
     MainMemory &mem_;
     SoftwareDecompressConfig cfg_;
 

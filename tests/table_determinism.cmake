@@ -1,0 +1,38 @@
+# Runs a table binary twice — engine serial (CPS_THREADS=1) and on 8
+# workers — and fails unless the two stdouts are byte-identical. This is
+# the user-visible face of the runMatrix determinism contract.
+#
+# Expects: TABLE_BIN (the binary), WORK_DIR (scratch directory).
+
+if (NOT TABLE_BIN OR NOT WORK_DIR)
+    message(FATAL_ERROR "TABLE_BIN and WORK_DIR are required")
+endif()
+
+set(serial_out "${WORK_DIR}/table_det_serial.txt")
+set(parallel_out "${WORK_DIR}/table_det_parallel.txt")
+
+set(ENV{CPS_INSNS} "20000")
+
+set(ENV{CPS_THREADS} "1")
+execute_process(COMMAND ${TABLE_BIN}
+    OUTPUT_FILE ${serial_out}
+    RESULT_VARIABLE serial_rc)
+if (NOT serial_rc EQUAL 0)
+    message(FATAL_ERROR "serial run failed (rc=${serial_rc})")
+endif()
+
+set(ENV{CPS_THREADS} "8")
+execute_process(COMMAND ${TABLE_BIN}
+    OUTPUT_FILE ${parallel_out}
+    RESULT_VARIABLE parallel_rc)
+if (NOT parallel_rc EQUAL 0)
+    message(FATAL_ERROR "parallel run failed (rc=${parallel_rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${serial_out} ${parallel_out}
+    RESULT_VARIABLE diff_rc)
+if (NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "table output differs between CPS_THREADS=1 and CPS_THREADS=8")
+endif()

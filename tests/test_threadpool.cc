@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Thread-pool tests: task execution and completion tracking, the
+ * parallelFor index contract (every index exactly once), reuse across
+ * batches, and CPS_THREADS worker-count parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "common/threadpool.hh"
+
+namespace cps
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    pool.wait(); // idempotent
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int batch = 0; batch < 5; ++batch) {
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&] { ++ran; });
+        pool.wait();
+        EXPECT_EQ(ran.load(), (batch + 1) * 20);
+    }
+}
+
+TEST(ThreadPool, ParallelForVisitsEachIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> seen(kN);
+    pool.parallelFor(kN, [&](size_t i) { ++seen[i]; });
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(seen[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [&](size_t) { FAIL() << "no indexes to visit"; });
+    std::atomic<int> ran{0};
+    pool.parallelFor(1, [&](size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++ran;
+    });
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes)
+{
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    pool.parallelFor(50, [&](size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, DestructorJoinsWithPendingWork)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 40; ++i)
+            pool.submit([&] { ++ran; });
+        // No wait(): the destructor must drain and join cleanly.
+    }
+    EXPECT_EQ(ran.load(), 40);
+}
+
+TEST(DefaultThreadCount, HonorsCpsThreads)
+{
+    ::setenv("CPS_THREADS", "3", 1);
+    EXPECT_EQ(defaultThreadCount(), 3u);
+    ::setenv("CPS_THREADS", "1", 1);
+    EXPECT_EQ(defaultThreadCount(), 1u);
+    ::unsetenv("CPS_THREADS");
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(DefaultThreadCount, RejectsNonsenseValues)
+{
+    ::setenv("CPS_THREADS", "0", 1);
+    EXPECT_GE(defaultThreadCount(), 1u);
+    ::setenv("CPS_THREADS", "banana", 1);
+    EXPECT_GE(defaultThreadCount(), 1u);
+    ::unsetenv("CPS_THREADS");
+}
+
+} // namespace
+} // namespace cps
