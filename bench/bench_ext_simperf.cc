@@ -4,9 +4,11 @@
  * other bench, the numbers here are about the *simulator*, not the
  * simulated machine — how fast the trusted LUT decoder chews through
  * compressed blocks compared to the checked bit-serial reference, how
- * many instructions per second the 4-issue model simulates, and the
+ * many instructions per second the 4-issue model simulates (driving the
+ * functional core live vs. replaying the recorded trace), and the
  * wall-clock of a full experiment-matrix regeneration serial vs.
- * parallel (the `runMatrix` engine, worker count from CPS_THREADS).
+ * parallel and live vs. replay (the `runMatrix` engine, worker count
+ * from CPS_THREADS).
  *
  * Besides the human-readable table the bench writes BENCH_simperf.json
  * into the working directory so later changes can track the host-perf
@@ -66,18 +68,26 @@ blocksPerSecond(u32 num_blocks, Fn &&decode)
     return best;
 }
 
-/** The full-suite speedup matrix used for the wall-clock comparison. */
+/**
+ * The full-suite speedup matrix used for the wall-clock comparison:
+ * both pipeline models x all four code models, the shape of the
+ * paper's multi-configuration tables.
+ */
 std::vector<harness::RunRequest>
 matrixRequests(Suite &suite, u64 insns)
 {
     std::vector<harness::RunRequest> reqs;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        for (CodeModel model :
-             {CodeModel::Native, CodeModel::CodePack,
-              CodeModel::CodePackOptimized, CodeModel::CodePackSoftware}) {
-            reqs.push_back({&bench,
-                            baseline4Issue().withCodeModel(model), insns});
+        for (const MachineConfig &base :
+             {baseline1Issue(), baseline4Issue()}) {
+            for (CodeModel model :
+                 {CodeModel::Native, CodeModel::CodePack,
+                  CodeModel::CodePackOptimized,
+                  CodeModel::CodePackSoftware}) {
+                reqs.push_back(
+                    {&bench, base.withCodeModel(model), insns});
+            }
         }
     }
     return reqs;
@@ -120,17 +130,17 @@ main()
     });
     double decode_speedup = lut_bps / ref_bps;
 
-    // --- 2. Simulated instructions per second -------------------------
+    // --- 2. Simulated instructions per second, live vs replay ---------
     const BenchProgram &go = suite.get("go");
-    auto simRate = [&](const MachineConfig &cfg) {
-        runMachine(go, cfg, 20000); // warm-up
+    auto simRate = [&](const MachineConfig &cfg, ReplayMode mode) {
+        runMachine(go, cfg, 20000, mode); // warm-up
         double best = 0;
         for (int rep = 0; rep < 3; ++rep) {
             u64 simulated = 0;
             auto start = Clock::now();
             double elapsed = 0;
             do {
-                RunOutcome out = runMachine(go, cfg, insns);
+                RunOutcome out = runMachine(go, cfg, insns, mode);
                 simulated += out.result.instructions;
                 elapsed = secondsSince(start);
             } while (elapsed < 0.2);
@@ -139,22 +149,43 @@ main()
         }
         return best;
     };
-    double native_ips = simRate(baseline4Issue());
-    double cp_ips = simRate(
-        baseline4Issue().withCodeModel(CodeModel::CodePackOptimized));
+    MachineConfig native_cfg = baseline4Issue();
+    MachineConfig cp_cfg =
+        baseline4Issue().withCodeModel(CodeModel::CodePackOptimized);
+    MachineConfig inorder_cfg = baseline1Issue();
+    double native_ips = simRate(native_cfg, ReplayMode::ForceLive);
+    double native_replay_ips = simRate(native_cfg, ReplayMode::Auto);
+    double cp_ips = simRate(cp_cfg, ReplayMode::ForceLive);
+    double cp_replay_ips = simRate(cp_cfg, ReplayMode::Auto);
+    double inorder_ips = simRate(inorder_cfg, ReplayMode::ForceLive);
+    double inorder_replay_ips = simRate(inorder_cfg, ReplayMode::Auto);
 
-    // --- 3. Full-matrix regeneration, serial vs parallel --------------
+    // --- 3. Full-matrix regeneration: serial vs parallel, live vs
+    //        replay. serial/parallel use the default mode (replay when
+    //        the trace covers), matching what the table binaries do.
     std::vector<harness::RunRequest> reqs = matrixRequests(suite, insns);
-    auto timeMatrix = [&](unsigned threads) {
-        auto start = Clock::now();
-        std::vector<RunOutcome> out = harness::runMatrix(reqs, threads);
-        double s = secondsSince(start);
-        asm volatile("" : : "r"(out.data()) : "memory");
-        return s;
+    auto timeMatrix = [&](unsigned threads, ReplayMode mode) {
+        for (harness::RunRequest &req : reqs)
+            req.mode = mode;
+        // Best of two passes: a full matrix takes long enough that one
+        // scheduler hiccup would otherwise dominate the comparison.
+        double best = 1e300;
+        for (int rep = 0; rep < 2; ++rep) {
+            auto start = Clock::now();
+            std::vector<RunOutcome> out =
+                harness::runMatrix(reqs, threads);
+            best = std::min(best, secondsSince(start));
+            asm volatile("" : : "r"(out.data()) : "memory");
+        }
+        return best;
     };
     unsigned workers = defaultThreadCount();
-    double serial_s = timeMatrix(1);
-    double parallel_s = timeMatrix(workers);
+    double serial_s = timeMatrix(1, ReplayMode::Auto);
+    double parallel_s = timeMatrix(workers, ReplayMode::Auto);
+    double matrix_live_s = timeMatrix(workers, ReplayMode::ForceLive);
+    double matrix_replay_s = parallel_s;
+    double replay_speedup =
+        matrix_live_s / (matrix_replay_s > 0 ? matrix_replay_s : 1.0);
 
     TextTable t;
     t.setTitle("Extension: host simulator performance "
@@ -165,15 +196,34 @@ main()
     t.addRow({"checked bit-serial decode",
               strfmt("%s blocks/s", grouped(ref_bps).c_str())});
     t.addRow({"LUT speedup over checked", strfmt("%.2fx", decode_speedup)});
-    t.addRow({"4-issue native simulation",
+    t.addRow({"4-issue native simulation, live",
               strfmt("%s insns/s", grouped(native_ips).c_str())});
-    t.addRow({"4-issue CodePack-opt simulation",
+    t.addRow({"4-issue native simulation, replay",
+              strfmt("%s insns/s (%.2fx)",
+                     grouped(native_replay_ips).c_str(),
+                     native_replay_ips /
+                         (native_ips > 0 ? native_ips : 1.0))});
+    t.addRow({"4-issue CodePack-opt simulation, live",
               strfmt("%s insns/s", grouped(cp_ips).c_str())});
+    t.addRow({"4-issue CodePack-opt simulation, replay",
+              strfmt("%s insns/s (%.2fx)", grouped(cp_replay_ips).c_str(),
+                     cp_replay_ips / (cp_ips > 0 ? cp_ips : 1.0))});
+    t.addRow({"1-issue in-order simulation, live",
+              strfmt("%s insns/s", grouped(inorder_ips).c_str())});
+    t.addRow({"1-issue in-order simulation, replay",
+              strfmt("%s insns/s (%.2fx)",
+                     grouped(inorder_replay_ips).c_str(),
+                     inorder_replay_ips /
+                         (inorder_ips > 0 ? inorder_ips : 1.0))});
     t.addRow({"matrix regeneration, serial",
               strfmt("%.2f s (%zu runs)", serial_s, reqs.size())});
     t.addRow({strfmt("matrix regeneration, %u workers", workers),
               strfmt("%.2f s (%.2fx)", parallel_s,
                      serial_s / (parallel_s > 0 ? parallel_s : 1.0))});
+    t.addRow({strfmt("matrix, %u workers, live core", workers),
+              strfmt("%.2f s", matrix_live_s)});
+    t.addRow({strfmt("matrix, %u workers, trace replay", workers),
+              strfmt("%.2f s (%.2fx)", matrix_replay_s, replay_speedup)});
     t.print();
 
     // --- JSON trajectory record ---------------------------------------
@@ -185,7 +235,7 @@ main()
     std::fprintf(
         f,
         "{\n"
-        "  \"schema\": 1,\n"
+        "  \"schema\": 2,\n"
         "  \"decode\": {\n"
         "    \"lut_blocks_per_sec\": %.0f,\n"
         "    \"checked_blocks_per_sec\": %.0f,\n"
@@ -193,7 +243,11 @@ main()
         "  },\n"
         "  \"simulation\": {\n"
         "    \"native_insns_per_sec\": %.0f,\n"
-        "    \"codepack_opt_insns_per_sec\": %.0f\n"
+        "    \"native_replay_insns_per_sec\": %.0f,\n"
+        "    \"codepack_opt_insns_per_sec\": %.0f,\n"
+        "    \"codepack_opt_replay_insns_per_sec\": %.0f,\n"
+        "    \"inorder_insns_per_sec\": %.0f,\n"
+        "    \"inorder_replay_insns_per_sec\": %.0f\n"
         "  },\n"
         "  \"matrix\": {\n"
         "    \"runs\": %zu,\n"
@@ -201,13 +255,19 @@ main()
         "    \"serial_seconds\": %.3f,\n"
         "    \"parallel_seconds\": %.3f,\n"
         "    \"workers\": %u,\n"
-        "    \"speedup\": %.3f\n"
+        "    \"speedup\": %.3f,\n"
+        "    \"live_seconds\": %.3f,\n"
+        "    \"replay_seconds\": %.3f,\n"
+        "    \"replay_speedup\": %.3f\n"
         "  }\n"
         "}\n",
-        lut_bps, ref_bps, decode_speedup, native_ips, cp_ips, reqs.size(),
+        lut_bps, ref_bps, decode_speedup, native_ips, native_replay_ips,
+        cp_ips, cp_replay_ips, inorder_ips, inorder_replay_ips,
+        reqs.size(),
         static_cast<unsigned long long>(insns), serial_s, parallel_s,
-        workers, serial_s / (parallel_s > 0 ? parallel_s : 1.0));
+        workers, serial_s / (parallel_s > 0 ? parallel_s : 1.0),
+        matrix_live_s, matrix_replay_s, replay_speedup);
     std::fclose(f);
-    std::printf("\nWrote BENCH_simperf.json (schema 1).\n");
+    std::printf("\nWrote BENCH_simperf.json (schema 2).\n");
     return 0;
 }

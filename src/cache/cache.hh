@@ -7,11 +7,20 @@
  * never need to hold bytes). The I-cache and D-cache of every simulated
  * machine are instances of this class; write-back state is tracked with
  * per-line dirty bits.
+ *
+ * Layout: the tag store is structure-of-arrays — parallel flat vectors
+ * of flags, tags and LRU timestamps — so a set scan walks a handful of
+ * adjacent bytes instead of striding over 24-byte way records. The
+ * timing loops probe a cache once or twice per simulated instruction,
+ * which makes this one of the hottest data structures in the simulator.
+ * accessFill() serves the common lookup-then-fill sequence with a
+ * single set walk.
  */
 
 #ifndef CPS_CACHE_CACHE_HH
 #define CPS_CACHE_CACHE_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "common/bitops.hh"
@@ -62,7 +71,10 @@ class Cache
         cps_assert(isPow2(cfg.numSets()), "set count must be a power of 2");
         lineShift_ = log2i(cfg.lineBytes);
         setMask_ = cfg.numSets() - 1;
-        ways_.assign(static_cast<size_t>(cfg.numSets()) * cfg.assoc, Way{});
+        size_t ways = static_cast<size_t>(cfg.numSets()) * cfg.assoc;
+        flags_.assign(ways, 0);
+        tags_.assign(ways, 0);
+        lastUse_.assign(ways, 0);
     }
 
     const CacheConfig &config() const { return cfg_; }
@@ -77,24 +89,24 @@ class Cache
     bool
     access(Addr addr)
     {
-        Way *w = find(addr);
-        if (!w)
+        size_t w = findWay(addr);
+        if (w == kNoWay)
             return false;
         if (cfg_.policy == ReplPolicy::Lru)
-            w->lastUse = ++useClock_;
+            lastUse_[w] = ++useClock_;
         return true;
     }
 
     /** Tag probe with no LRU side effect. */
-    bool probe(Addr addr) const { return findConst(addr) != nullptr; }
+    bool probe(Addr addr) const { return findWay(addr) != kNoWay; }
 
     /** Marks the line containing @p addr dirty (it must be present). */
     void
     setDirty(Addr addr)
     {
-        Way *w = find(addr);
-        cps_assert(w, "setDirty on absent line");
-        w->dirty = true;
+        size_t w = findWay(addr);
+        cps_assert(w != kNoWay, "setDirty on absent line");
+        flags_[w] |= kDirty;
     }
 
     /**
@@ -104,58 +116,60 @@ class Cache
     CacheVictim
     fill(Addr addr)
     {
-        size_t set = setIndex(addr);
-        Way *victim = nullptr;
-        for (u32 i = 0; i < cfg_.assoc; ++i) {
-            Way &w = ways_[set * cfg_.assoc + i];
-            if (!w.valid) {
-                victim = &w;
-                break;
-            }
-            // LRU and FIFO both evict the smallest timestamp; under
-            // FIFO the timestamp is only set at fill time.
-            if (!victim || w.lastUse < victim->lastUse)
-                victim = &w;
-        }
-        if (victim->valid && cfg_.policy == ReplPolicy::Random) {
-            // Deterministic xorshift over the set: reproducible runs.
-            rngState_ ^= rngState_ << 13;
-            rngState_ ^= rngState_ >> 7;
-            rngState_ ^= rngState_ << 17;
-            victim = &ways_[set * cfg_.assoc + (rngState_ % cfg_.assoc)];
-        }
+        return fillWay(victimWay(setIndex(addr)), addr, false);
+    }
 
-        CacheVictim out;
-        if (victim->valid) {
-            out.valid = true;
-            out.dirty = victim->dirty;
-            out.lineAddr = rebuild(victim->tag, set);
+    /**
+     * Combined lookup-and-fill: one set walk decides hit/miss, updates
+     * LRU (and the dirty bit, for stores) on a hit, and fills the line
+     * on a miss. Behaviour (LRU clocking, victim choice, replacement
+     * RNG sequence) is identical to access() + fill() [+ setDirty()].
+     * @param make_dirty store semantics: the line ends up dirty
+     * @param victim miss only: the evicted line, as fill() reports it
+     * @return true on hit
+     */
+    bool
+    accessFill(Addr addr, bool make_dirty, CacheVictim &victim)
+    {
+        size_t set = setIndex(addr);
+        size_t base = set * cfg_.assoc;
+        Addr tag = tagOf(addr);
+        size_t invalid = kNoWay;
+        size_t lru = kNoWay;
+        for (size_t w = base; w < base + cfg_.assoc; ++w) {
+            if (!(flags_[w] & kValid)) {
+                if (invalid == kNoWay)
+                    invalid = w;
+                continue;
+            }
+            if (tags_[w] == tag) {
+                if (cfg_.policy == ReplPolicy::Lru)
+                    lastUse_[w] = ++useClock_;
+                if (make_dirty)
+                    flags_[w] |= kDirty;
+                return true;
+            }
+            if (lru == kNoWay || lastUse_[w] < lastUse_[lru])
+                lru = w;
         }
-        victim->valid = true;
-        victim->dirty = false;
-        victim->tag = tagOf(addr);
-        victim->lastUse = ++useClock_;
-        return out;
+        victim = fillWay(invalid != kNoWay ? invalid : lru, addr,
+                         make_dirty);
+        return false;
     }
 
     /** Invalidates every line (dirty contents are discarded). */
     void
     invalidateAll()
     {
-        for (Way &w : ways_)
-            w = Way{};
+        std::fill(flags_.begin(), flags_.end(), u8{0});
         useClock_ = 0;
         rngState_ = 0x9e3779b97f4a7c15ULL;
     }
 
   private:
-    struct Way
-    {
-        bool valid = false;
-        bool dirty = false;
-        Addr tag = 0;
-        u64 lastUse = 0;
-    };
+    static constexpr size_t kNoWay = ~static_cast<size_t>(0);
+    static constexpr u8 kValid = 1;
+    static constexpr u8 kDirty = 2;
 
     size_t
     setIndex(Addr addr) const
@@ -165,30 +179,56 @@ class Cache
 
     Addr tagOf(Addr addr) const { return addr >> lineShift_; }
 
-    Addr
-    rebuild(Addr tag, size_t set) const
+    size_t
+    findWay(Addr addr) const
     {
-        (void)set; // tag includes the set bits: tag == addr >> lineShift
-        return tag << lineShift_;
-    }
-
-    Way *
-    find(Addr addr)
-    {
-        size_t set = setIndex(addr);
+        size_t base = setIndex(addr) * cfg_.assoc;
         Addr tag = tagOf(addr);
-        for (u32 i = 0; i < cfg_.assoc; ++i) {
-            Way &w = ways_[set * cfg_.assoc + i];
-            if (w.valid && w.tag == tag)
-                return &w;
+        for (size_t w = base; w < base + cfg_.assoc; ++w) {
+            if ((flags_[w] & kValid) && tags_[w] == tag)
+                return w;
         }
-        return nullptr;
+        return kNoWay;
     }
 
-    const Way *
-    findConst(Addr addr) const
+    /** Replacement choice for @p set: first invalid way, else LRU
+     *  (FIFO shares the timestamp rule; it only stamps at fill). */
+    size_t
+    victimWay(size_t set) const
     {
-        return const_cast<Cache *>(this)->find(addr);
+        size_t base = set * cfg_.assoc;
+        size_t victim = kNoWay;
+        for (size_t w = base; w < base + cfg_.assoc; ++w) {
+            if (!(flags_[w] & kValid))
+                return w;
+            if (victim == kNoWay || lastUse_[w] < lastUse_[victim])
+                victim = w;
+        }
+        return victim;
+    }
+
+    /** Installs @p addr's line in way @p w, reporting the evictee. */
+    CacheVictim
+    fillWay(size_t w, Addr addr, bool make_dirty)
+    {
+        if ((flags_[w] & kValid) && cfg_.policy == ReplPolicy::Random) {
+            // Deterministic xorshift over the set: reproducible runs.
+            rngState_ ^= rngState_ << 13;
+            rngState_ ^= rngState_ >> 7;
+            rngState_ ^= rngState_ << 17;
+            w = setIndex(addr) * cfg_.assoc + (rngState_ % cfg_.assoc);
+        }
+
+        CacheVictim out;
+        if (flags_[w] & kValid) {
+            out.valid = true;
+            out.dirty = (flags_[w] & kDirty) != 0;
+            out.lineAddr = tags_[w] << lineShift_; // tag includes set bits
+        }
+        flags_[w] = kValid | (make_dirty ? kDirty : u8{0});
+        tags_[w] = tagOf(addr);
+        lastUse_[w] = ++useClock_;
+        return out;
     }
 
     CacheConfig cfg_;
@@ -196,7 +236,10 @@ class Cache
     Addr setMask_ = 0;
     u64 useClock_ = 0;
     u64 rngState_ = 0x9e3779b97f4a7c15ULL;
-    std::vector<Way> ways_;
+    // Structure-of-arrays tag store: flags_[w] holds kValid/kDirty bits.
+    std::vector<u8> flags_;
+    std::vector<Addr> tags_;
+    std::vector<u64> lastUse_;
 };
 
 } // namespace cps

@@ -60,6 +60,11 @@ class DecodedText
         return infos_[(pc - base_) >> 2];
     }
 
+    /** Unchecked access by word index (trace replay hot path; the
+     *  recorder validated every index against this same text). */
+    const Inst &instAt(size_t i) const { return insts_[i]; }
+    const InstInfo &infoAt(size_t i) const { return infos_[i]; }
+
   private:
     Addr base_;
     std::vector<Inst> insts_;

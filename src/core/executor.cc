@@ -33,12 +33,22 @@ Executor::doSyscall()
         break;
       case 4: { // print_string
         Addr a = arg;
+        bool terminated = false;
         for (unsigned guard = 0; guard < 65536; ++guard) {
             u8 c = mem_.read8(a++);
-            if (c == 0)
+            if (c == 0) {
+                terminated = true;
                 break;
+            }
             output_ += static_cast<char>(c);
         }
+        // A missing NUL means the program is scribbling past its
+        // string (or passed a bad pointer); truncating silently makes
+        // that miserable to debug.
+        if (!terminated)
+            cps_warn("print_string at 0x%x not NUL-terminated within "
+                     "65536 bytes; output truncated (pc 0x%x)",
+                     arg, state_.pc);
         break;
       }
       case 10: // exit

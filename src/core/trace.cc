@@ -1,0 +1,34 @@
+#include "trace.hh"
+
+#include <algorithm>
+
+#include "mem/main_memory.hh"
+
+namespace cps
+{
+
+TraceBuffer
+recordTrace(const Program &prog, u64 max_entries)
+{
+    // The functional pass needs exactly the state a Machine sets up:
+    // both segments loaded and the executor reset to the entry point.
+    // Timing configuration is irrelevant (no timed accesses happen).
+    MainMemory mem;
+    mem.loadSegment(prog.text);
+    mem.loadSegment(prog.data);
+    DecodedText text(prog);
+    Executor exec(text, mem);
+    exec.reset(prog);
+
+    TraceBuffer trace;
+    trace.reserve(static_cast<size_t>(
+        std::min<u64>(max_entries, u64{1} << 20)));
+    Addr base = text.base();
+    while (!exec.halted() && trace.size() < max_entries)
+        trace.append(exec.step(), base);
+    if (exec.halted())
+        trace.markComplete();
+    return trace;
+}
+
+} // namespace cps

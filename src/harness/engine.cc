@@ -20,14 +20,14 @@ runMatrix(const std::vector<RunRequest> &requests, unsigned threads)
     if (threads <= 1 || requests.size() <= 1) {
         for (size_t i = 0; i < requests.size(); ++i)
             outcomes[i] = runMachine(*requests[i].bench, requests[i].cfg,
-                                     requests[i].maxInsns);
+                                     requests[i].maxInsns, requests[i].mode);
         return outcomes;
     }
 
     ThreadPool pool(threads);
     pool.parallelFor(requests.size(), [&](size_t i) {
         outcomes[i] = runMachine(*requests[i].bench, requests[i].cfg,
-                                 requests[i].maxInsns);
+                                 requests[i].maxInsns, requests[i].mode);
     });
     return outcomes;
 }

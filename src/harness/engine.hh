@@ -29,6 +29,7 @@ struct RunRequest
     const BenchProgram *bench = nullptr; ///< must outlive runMatrix()
     MachineConfig cfg;
     u64 maxInsns = 0;
+    ReplayMode mode = ReplayMode::Auto; ///< trace replay vs live core
 };
 
 /**

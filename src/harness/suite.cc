@@ -28,6 +28,13 @@ Suite::build(const std::string &name)
     bench->profile = &findProfile(name);
     bench->program = generateProgram(*bench->profile);
     bench->image = codepack::compress(bench->program);
+    // Trace once here; every machine configuration replays the same
+    // immutable buffer (published with the BenchProgram under the
+    // cache mutex, so cross-thread reads are safe).
+    if (replayEnabled() && traceInsns() > 0) {
+        bench->trace = std::make_unique<const TraceBuffer>(
+            recordTrace(bench->program, traceInsns()));
+    }
     return bench;
 }
 
@@ -90,13 +97,49 @@ Suite::runInsns()
     return cached;
 }
 
+u64
+Suite::traceInsns()
+{
+    static const u64 cached = [] {
+        if (const char *env = std::getenv("CPS_TRACE_INSNS")) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(env, &end, 10);
+            if (end && *end == '\0')
+                return static_cast<u64>(v);
+            cps_warn("ignoring malformed CPS_TRACE_INSNS='%s'", env);
+        }
+        // Slack past runInsns() so an OoO front end fetching ahead of
+        // its commit budget never outruns a truncated trace (see
+        // replayLookahead; 4096 covers any plausible RUU depth).
+        return runInsns() + 4096;
+    }();
+    return cached;
+}
+
+bool
+Suite::replayEnabled()
+{
+    static const bool cached = [] {
+        const char *env = std::getenv("CPS_REPLAY");
+        return env == nullptr || std::string(env) != "0";
+    }();
+    return cached;
+}
+
 RunOutcome
 runMachine(const BenchProgram &bench, const MachineConfig &cfg,
-           u64 max_insns)
+           u64 max_insns, ReplayMode mode)
 {
+    const TraceBuffer *trace = nullptr;
+    if (mode == ReplayMode::Auto && bench.trace &&
+        bench.trace->covers(max_insns, replayLookahead(cfg)) &&
+        Suite::replayEnabled()) {
+        trace = bench.trace.get();
+    }
     Machine machine(bench.program, cfg,
                     cfg.codeModel == CodeModel::Native ? nullptr
-                                                       : &bench.image);
+                                                       : &bench.image,
+                    trace);
     RunOutcome out;
     out.result = machine.run(max_insns);
     out.icacheMissRate = machine.icacheMissRate();

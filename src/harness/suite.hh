@@ -19,12 +19,16 @@
 namespace cps
 {
 
-/** A generated benchmark with its compressed image. */
+/** A generated benchmark with its compressed image and, when tracing is
+ *  enabled, the recorded instruction stream every machine configuration
+ *  replays instead of re-executing the functional core. */
 struct BenchProgram
 {
     const BenchmarkProfile *profile = nullptr;
     Program program;
     codepack::CompressedImage image;
+    /** Immutable after generation; null when tracing is disabled. */
+    std::unique_ptr<const TraceBuffer> trace;
 };
 
 /**
@@ -62,6 +66,22 @@ class Suite
      */
     static u64 runInsns();
 
+    /**
+     * Trace-entry cap per benchmark (the trace-replay memory knob, 16
+     * bytes per entry). Defaults to runInsns() plus enough slack to
+     * cover the deepest OoO fetch-ahead; override with CPS_TRACE_INSNS
+     * (0 disables recording entirely). Runs longer than the recorded
+     * trace fall back to live execution.
+     */
+    static u64 traceInsns();
+
+    /**
+     * Whether timed runs replay pregenerated traces (CPS_REPLAY; any
+     * value but "0" — default — enables). Disabling also skips
+     * recording, so CPS_REPLAY=0 restores the pre-trace behaviour.
+     */
+    static bool replayEnabled();
+
   private:
     Suite();
 
@@ -84,9 +104,18 @@ struct RunOutcome
     u64 missLatencyTotal = 0; ///< sum of critical-word miss latencies
 };
 
-/** Builds a machine for @p bench under @p cfg and runs it. */
+/** How runMachine sources the instruction stream. */
+enum class ReplayMode
+{
+    Auto,      ///< replay the recorded trace when it covers the run
+    ForceLive, ///< always re-execute the functional core
+};
+
+/** Builds a machine for @p bench under @p cfg and runs it. With a
+ *  recorded trace that covers the run (and replay enabled), the timing
+ *  models replay it — same tables, one functional execution total. */
 RunOutcome runMachine(const BenchProgram &bench, const MachineConfig &cfg,
-                      u64 max_insns);
+                      u64 max_insns, ReplayMode mode = ReplayMode::Auto);
 
 /** Convenience: cycles(native) / cycles(model) on identical inputs. */
 inline double

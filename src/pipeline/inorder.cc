@@ -6,11 +6,23 @@
 namespace cps
 {
 
+InOrderPipeline::InOrderPipeline(const PipelineConfig &cfg, TraceSource &src,
+                                 FetchPath &fetch, DataPath &data,
+                                 StatSet &stats)
+    : cfg_(cfg), src_(src), fetch_(fetch), data_(data),
+      frontend_(cfg.predictor, stats),
+      statInsns_(stats.scalar("pipeline.insns")),
+      statCycles_(stats.scalar("pipeline.cycles"))
+{}
+
 InOrderPipeline::InOrderPipeline(const PipelineConfig &cfg, Executor &exec,
                                  FetchPath &fetch, DataPath &data,
                                  StatSet &stats)
-    : cfg_(cfg), exec_(exec), fetch_(fetch), data_(data),
-      frontend_(cfg.predictor, stats), stats_(stats)
+    : cfg_(cfg), ownedSrc_(std::make_unique<LiveTraceSource>(exec)),
+      src_(*ownedSrc_), fetch_(fetch), data_(data),
+      frontend_(cfg.predictor, stats),
+      statInsns_(stats.scalar("pipeline.insns")),
+      statCycles_(stats.scalar("pipeline.cycles"))
 {}
 
 RunResult
@@ -27,11 +39,11 @@ InOrderPipeline::run(u64 max_insns)
     bool exited = false;
 
     while (retired < max_insns) {
-        if (exec_.halted()) {
+        if (src_.halted()) {
             exited = true;
             break;
         }
-        StepRecord rec = exec_.step();
+        StepRecord rec = src_.step();
         const InstInfo &info = *rec.info;
 
         // IF: one instruction per cycle through the I-cache.
@@ -72,7 +84,7 @@ InOrderPipeline::run(u64 max_insns)
                 // Fetch runs the wrong path until the branch resolves in
                 // EX, then restarts the next cycle.
                 simulateWrongPath(fetch_, out.wrongPath,
-                                  exec_.text().base(), exec_.text().end(),
+                                  src_.text().base(), src_.text().end(),
                                   fetch_done + 1, ex + 1, 1);
                 fetch_slot = std::max(fetch_slot,
                                       ex + 1 + cfg_.mispredictExtra);
@@ -111,8 +123,8 @@ InOrderPipeline::run(u64 max_insns)
     res.instructions = retired;
     res.cycles = end_time;
     res.programExited = exited;
-    stats_.scalar("pipeline.insns").set(retired);
-    stats_.scalar("pipeline.cycles").set(end_time);
+    statInsns_.set(retired);
+    statCycles_.set(end_time);
     return res;
 }
 

@@ -17,11 +17,12 @@
 #ifndef CPS_PIPELINE_INORDER_HH
 #define CPS_PIPELINE_INORDER_HH
 
+#include <memory>
 #include <vector>
 
 #include "common/stats.hh"
 #include "config.hh"
-#include "core/executor.hh"
+#include "core/trace.hh"
 #include "frontend.hh"
 #include "paths.hh"
 
@@ -42,6 +43,11 @@ struct PipeTraceEntry
 class InOrderPipeline
 {
   public:
+    /** Drives an arbitrary instruction stream (live or replayed). */
+    InOrderPipeline(const PipelineConfig &cfg, TraceSource &src,
+                    FetchPath &fetch, DataPath &data, StatSet &stats);
+
+    /** Convenience: drives @p exec through an owned live source. */
     InOrderPipeline(const PipelineConfig &cfg, Executor &exec,
                     FetchPath &fetch, DataPath &data, StatSet &stats);
 
@@ -60,11 +66,13 @@ class InOrderPipeline
   private:
     std::vector<PipeTraceEntry> *trace_ = nullptr;
     PipelineConfig cfg_;
-    Executor &exec_;
+    std::unique_ptr<LiveTraceSource> ownedSrc_; ///< Executor-ctor wrapper
+    TraceSource &src_;
     FetchPath &fetch_;
     DataPath &data_;
     FrontEnd frontend_;
-    StatSet &stats_;
+    Counter &statInsns_;
+    Counter &statCycles_;
 };
 
 } // namespace cps

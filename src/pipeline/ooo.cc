@@ -6,10 +6,30 @@
 namespace cps
 {
 
+OoOPipeline::OoOPipeline(const PipelineConfig &cfg, TraceSource &src,
+                         FetchPath &fetch, DataPath &data, StatSet &stats)
+    : cfg_(cfg), src_(src), fetch_(fetch), data_(data),
+      frontend_(cfg.predictor, stats),
+      statInsns_(stats.scalar("pipeline.insns")),
+      statCycles_(stats.scalar("pipeline.cycles"))
+{
+    cps_assert(cfg.ruuSize >= cfg.width, "RUU smaller than machine width");
+    ruu_.resize(cfg.ruuSize);
+    fuFree_[kFuAlu].assign(cfg.numAlu, 0);
+    fuFree_[kFuMult].assign(cfg.numMult, 0);
+    fuFree_[kFuMem].assign(cfg.numMemPorts, 0);
+    fuFree_[kFuFpAlu].assign(cfg.numFpAlu, 0);
+    fuFree_[kFuFpMult].assign(cfg.numFpMult, 0);
+    regProducer_.fill(kNoSeq);
+}
+
 OoOPipeline::OoOPipeline(const PipelineConfig &cfg, Executor &exec,
                          FetchPath &fetch, DataPath &data, StatSet &stats)
-    : cfg_(cfg), exec_(exec), fetch_(fetch), data_(data),
-      frontend_(cfg.predictor, stats), stats_(stats)
+    : cfg_(cfg), ownedSrc_(std::make_unique<LiveTraceSource>(exec)),
+      src_(*ownedSrc_), fetch_(fetch), data_(data),
+      frontend_(cfg.predictor, stats),
+      statInsns_(stats.scalar("pipeline.insns")),
+      statCycles_(stats.scalar("pipeline.cycles"))
 {
     cps_assert(cfg.ruuSize >= cfg.width, "RUU smaller than machine width");
     ruu_.resize(cfg.ruuSize);
@@ -159,7 +179,7 @@ OoOPipeline::run(u64 max_insns)
                 // Between now and resolution, fetch runs down the wrong
                 // path (cache pollution + memory-channel occupancy).
                 simulateWrongPath(fetch_, e.wrongPath,
-                                  exec_.text().base(), exec_.text().end(),
+                                  src_.text().base(), src_.text().end(),
                                   clock + 1, e.doneAt, cfg_.width);
                 // The redirect reaches fetch the cycle after resolution,
                 // plus front-end refill.
@@ -173,11 +193,11 @@ OoOPipeline::run(u64 max_insns)
         unsigned fetched = 0;
         while (clock >= fetch_blocked_until && fetched < cfg_.width) {
             if (!pending) {
-                if (exec_.halted()) {
+                if (src_.halted()) {
                     exited = true;
                     break;
                 }
-                pending = exec_.step();
+                pending = src_.step();
             }
             if (ruu_full())
                 break;
@@ -263,7 +283,7 @@ OoOPipeline::run(u64 max_insns)
         }
 
         // --------------------------------------------- termination test
-        if (ruu_empty() && !pending && exec_.halted()) {
+        if (ruu_empty() && !pending && src_.halted()) {
             exited = true;
             break;
         }
@@ -292,7 +312,7 @@ OoOPipeline::run(u64 max_insns)
                 }
             }
             if (fetch_blocked_until != kCycleNever &&
-                (pending || !exec_.halted()) && !ruu_full()) {
+                (pending || !src_.halted()) && !ruu_full()) {
                 next = std::min(next, fetch_blocked_until);
             }
             cps_assert(next != kCycleNever,
@@ -308,8 +328,8 @@ OoOPipeline::run(u64 max_insns)
     res.instructions = retired;
     res.cycles = clock;
     res.programExited = exited;
-    stats_.scalar("pipeline.insns").set(retired);
-    stats_.scalar("pipeline.cycles").set(clock);
+    statInsns_.set(retired);
+    statCycles_.set(clock);
     return res;
 }
 

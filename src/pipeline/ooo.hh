@@ -20,12 +20,13 @@
 #ifndef CPS_PIPELINE_OOO_HH
 #define CPS_PIPELINE_OOO_HH
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
 #include "config.hh"
-#include "core/executor.hh"
+#include "core/trace.hh"
 #include "frontend.hh"
 #include "inorder.hh"
 #include "paths.hh"
@@ -48,6 +49,11 @@ struct OooTraceEntry
 class OoOPipeline
 {
   public:
+    /** Drives an arbitrary instruction stream (live or replayed). */
+    OoOPipeline(const PipelineConfig &cfg, TraceSource &src,
+                FetchPath &fetch, DataPath &data, StatSet &stats);
+
+    /** Convenience: drives @p exec through an owned live source. */
     OoOPipeline(const PipelineConfig &cfg, Executor &exec, FetchPath &fetch,
                 DataPath &data, StatSet &stats);
 
@@ -98,11 +104,13 @@ class OoOPipeline
     bool nonPipelined(InstClass cls) const;
 
     PipelineConfig cfg_;
-    Executor &exec_;
+    std::unique_ptr<LiveTraceSource> ownedSrc_; ///< Executor-ctor wrapper
+    TraceSource &src_;
     FetchPath &fetch_;
     DataPath &data_;
     FrontEnd frontend_;
-    StatSet &stats_;
+    Counter &statInsns_;
+    Counter &statCycles_;
 
     std::vector<Entry> ruu_;
     u64 headSeq_ = 0;

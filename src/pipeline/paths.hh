@@ -124,9 +124,11 @@ class CachedFetchPath : public FetchPath
         if (line != lastLine_) {
             lastLine_ = line;
             statAccesses_.inc();
-            if (!icache_.access(addr)) {
+            // One set walk decides hit/miss and installs the line on a
+            // miss (I-cache lines are never dirty; victim is ignored).
+            CacheVictim victim;
+            if (!icache_.accessFill(addr, false, victim)) {
                 statMisses_.inc();
-                icache_.fill(addr); // I-cache lines are never dirty
                 fill_.record(line, fillLine(addr, now));
                 // Critical-word latency of this miss (Figure 2 metric).
                 Cycle ready;
@@ -324,9 +326,11 @@ class DataPath
     {
         statAccesses_.inc();
         Cycle ready = now + 1; // cache hit latency
-        if (!dcache_.access(addr)) {
+        // Single tag-store walk: lookup, allocation and (for stores)
+        // the dirty-bit update all resolve against the same way.
+        CacheVictim victim;
+        if (!dcache_.accessFill(addr, is_store, victim)) {
             statMisses_.inc();
-            CacheVictim victim = dcache_.fill(addr);
             BurstResult r = mem_.burstRead(now, dcache_.config().lineBytes);
             if (victim.valid && victim.dirty) {
                 statWritebacks_.inc();
@@ -335,8 +339,6 @@ class DataPath
             if (!is_store)
                 ready = r.done + 1;
         }
-        if (is_store)
-            dcache_.setDirty(addr);
         return ready;
     }
 

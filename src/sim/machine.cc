@@ -70,13 +70,22 @@ baseline8Issue()
 }
 
 Machine::Machine(const Program &prog, const MachineConfig &cfg,
-                 const codepack::CompressedImage *img)
+                 const codepack::CompressedImage *img,
+                 const TraceBuffer *trace)
     : cfg_(cfg), prog_(prog), mem_(cfg.mem), text_(prog),
-      exec_(text_, mem_), data_(cfg.dcache, mem_, stats_)
+      exec_(text_, mem_), replayTrace_(trace),
+      data_(cfg.dcache, mem_, stats_)
 {
     mem_.loadSegment(prog.text);
     mem_.loadSegment(prog.data);
     exec_.reset(prog);
+
+    // The timing models see one instruction stream either way; replay
+    // skips the functional re-execution the trace already did.
+    if (replayTrace_)
+        source_ = std::make_unique<TraceReplaySource>(*replayTrace_, text_);
+    else
+        source_ = std::make_unique<LiveTraceSource>(exec_);
 
     if (cfg.codeModel == CodeModel::Native) {
         fetch_ = std::make_unique<NativeFetchPath>(cfg.icache, mem_, stats_);
@@ -117,17 +126,21 @@ Machine::Machine(const Program &prog, const MachineConfig &cfg,
     }
 
     if (cfg.pipeline.inOrder) {
-        inorder_ = std::make_unique<InOrderPipeline>(cfg.pipeline, exec_,
-                                                     *fetch_, data_, stats_);
+        inorder_ = std::make_unique<InOrderPipeline>(
+            cfg.pipeline, *source_, *fetch_, data_, stats_);
     } else {
-        ooo_ = std::make_unique<OoOPipeline>(cfg.pipeline, exec_, *fetch_,
-                                             data_, stats_);
+        ooo_ = std::make_unique<OoOPipeline>(cfg.pipeline, *source_,
+                                             *fetch_, data_, stats_);
     }
 }
 
 RunResult
 Machine::run(u64 max_insns)
 {
+    cps_assert(!replayTrace_ ||
+                   replayTrace_->covers(max_insns, replayLookahead(cfg_)),
+               "trace does not cover a %llu-insn run",
+               static_cast<unsigned long long>(max_insns));
     if (inorder_)
         return inorder_->run(max_insns);
     return ooo_->run(max_insns);

@@ -15,6 +15,7 @@
 #include "codepack/compressor.hh"
 #include "codepack/timing.hh"
 #include "core/executor.hh"
+#include "core/trace.hh"
 #include "software_fetch.hh"
 #include "pipeline/config.hh"
 #include "pipeline/inorder.hh"
@@ -65,6 +66,18 @@ MachineConfig baseline4Issue();
 MachineConfig baseline8Issue();
 
 /**
+ * Functional steps a pipeline under @p cfg may consume beyond its
+ * retired-instruction budget (the OoO front end fetches ahead of
+ * commit). A recorded trace replayed for max_insns must additionally
+ * cover this many entries unless it ends with the program's exit.
+ */
+inline u64
+replayLookahead(const MachineConfig &cfg)
+{
+    return cfg.pipeline.inOrder ? 0 : cfg.pipeline.ruuSize + 1;
+}
+
+/**
  * One program + one machine, ready to run.
  *
  * For the CodePack code models the caller provides the compressed image
@@ -77,12 +90,20 @@ class Machine
      * @param prog the native program (must outlive the machine)
      * @param cfg machine configuration
      * @param img compressed image; required for CodePack code models
+     * @param trace pre-recorded instruction stream of @p prog; when
+     *        given, run() replays it instead of re-executing the
+     *        functional core (must outlive the machine and cover the
+     *        run length — see TraceBuffer::covers / replayLookahead)
      */
     Machine(const Program &prog, const MachineConfig &cfg,
-            const codepack::CompressedImage *img = nullptr);
+            const codepack::CompressedImage *img = nullptr,
+            const TraceBuffer *trace = nullptr);
 
     /** Runs until @p max_insns commit or the program exits. */
     RunResult run(u64 max_insns);
+
+    /** True when run() replays a recorded trace instead of executing. */
+    bool replaying() const { return replayTrace_ != nullptr; }
 
     StatSet &stats() { return stats_; }
     const MachineConfig &config() const { return cfg_; }
@@ -119,6 +140,8 @@ class Machine
     MainMemory mem_;
     DecodedText text_;
     Executor exec_;
+    const TraceBuffer *replayTrace_ = nullptr;
+    std::unique_ptr<TraceSource> source_;
     std::unique_ptr<CachedFetchPath> fetch_;
     DataPath data_;
     std::unique_ptr<InOrderPipeline> inorder_;

@@ -1,15 +1,22 @@
-# Runs a table binary twice — engine serial (CPS_THREADS=1) and on 8
-# workers — and fails unless the two stdouts are byte-identical. This is
-# the user-visible face of the runMatrix determinism contract.
+# Runs a table binary three ways — engine serial (CPS_THREADS=1), on 8
+# workers, and on 8 workers with trace replay disabled (CPS_REPLAY=0) —
+# and fails unless all three stdouts are byte-identical. This is the
+# user-visible face of two contracts: runMatrix determinism at any
+# worker count, and trace-replay equivalence with live execution.
 #
 # Expects: TABLE_BIN (the binary), WORK_DIR (scratch directory).
+# Optional: OUT_PREFIX (scratch-file prefix, default "table_det").
 
 if (NOT TABLE_BIN OR NOT WORK_DIR)
     message(FATAL_ERROR "TABLE_BIN and WORK_DIR are required")
 endif()
+if (NOT OUT_PREFIX)
+    set(OUT_PREFIX "table_det")
+endif()
 
-set(serial_out "${WORK_DIR}/table_det_serial.txt")
-set(parallel_out "${WORK_DIR}/table_det_parallel.txt")
+set(serial_out "${WORK_DIR}/${OUT_PREFIX}_serial.txt")
+set(parallel_out "${WORK_DIR}/${OUT_PREFIX}_parallel.txt")
+set(live_out "${WORK_DIR}/${OUT_PREFIX}_live.txt")
 
 set(ENV{CPS_INSNS} "20000")
 
@@ -29,10 +36,26 @@ if (NOT parallel_rc EQUAL 0)
     message(FATAL_ERROR "parallel run failed (rc=${parallel_rc})")
 endif()
 
+set(ENV{CPS_REPLAY} "0")
+execute_process(COMMAND ${TABLE_BIN}
+    OUTPUT_FILE ${live_out}
+    RESULT_VARIABLE live_rc)
+if (NOT live_rc EQUAL 0)
+    message(FATAL_ERROR "live (CPS_REPLAY=0) run failed (rc=${live_rc})")
+endif()
+
 execute_process(
     COMMAND ${CMAKE_COMMAND} -E compare_files ${serial_out} ${parallel_out}
     RESULT_VARIABLE diff_rc)
 if (NOT diff_rc EQUAL 0)
     message(FATAL_ERROR
         "table output differs between CPS_THREADS=1 and CPS_THREADS=8")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${parallel_out} ${live_out}
+    RESULT_VARIABLE replay_diff_rc)
+if (NOT replay_diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "table output differs between trace replay and CPS_REPLAY=0")
 endif()
