@@ -30,6 +30,13 @@ class BitWriter
     BitWriter() = default;
 
     /**
+     * Pre-sizes the backing byte vector for @p bytes bytes of output.
+     * Encoders that can bound their output from a symbol histogram use
+     * this to take the reallocation churn out of the hot put() loop.
+     */
+    void reserve(size_t bytes) { bytes_.reserve(bytes); }
+
+    /**
      * Appends the low @p width bits of @p value, MSB first.
      * @param value field to append (upper bits beyond width are ignored)
      * @param width number of bits, 0..32

@@ -48,6 +48,20 @@ class HuffmanCode
     unsigned length(u8 symbol) const { return length_[symbol]; }
 
     /**
+     * Exact encoded size, in bits, of a stream with byte histogram
+     * @p counts (excluding any per-line alignment padding). Encoders
+     * use it to pre-size their output buffers.
+     */
+    u64
+    streamBits(const std::array<u64, 256> &counts) const
+    {
+        u64 bits = 0;
+        for (unsigned s = 0; s < 256; ++s)
+            bits += counts[s] * length_[s];
+        return bits;
+    }
+
+    /**
      * Bits needed to ship the code itself (one 4-bit length per symbol,
      * canonical reconstruction needs nothing else).
      */

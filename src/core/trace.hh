@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "common/result.hh"
 #include "executor.hh"
 
 namespace cps
@@ -72,6 +73,9 @@ class TraceBuffer
                  (rec.halted ? TraceEntry::kHaltedBit : 0);
         entries_.push_back(e);
     }
+
+    /** Appends an already-packed entry (trace deserialization). */
+    void appendEntry(const TraceEntry &e) { entries_.push_back(e); }
 
     /** Marks that the trace ends because the program exited. */
     void markComplete() { complete_ = true; }
@@ -204,6 +208,21 @@ class TraceReplaySource final : public TraceSource
  * covers() shorter timed runs.
  */
 TraceBuffer recordTrace(const Program &prog, u64 max_entries);
+
+/**
+ * Serializes @p trace for the on-disk artifact cache (little-endian:
+ * magic "CPSTRC1", entry count, completeness flag, packed entries, then
+ * a CRC-32 over everything before it).
+ */
+std::vector<u8> encodeTrace(const TraceBuffer &trace);
+
+/**
+ * Checked inverse of encodeTrace. Cached traces are untrusted input
+ * (another process wrote them; the disk may have corrupted them), so
+ * rejection is a structured DecodeError and the declared entry count is
+ * validated against the bytes present before anything is allocated.
+ */
+Result<TraceBuffer> decodeTraceChecked(const std::vector<u8> &bytes);
 
 } // namespace cps
 

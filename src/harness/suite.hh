@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/artifact_cache.hh"
 #include "sim/machine.hh"
 
 namespace cps
@@ -33,8 +34,11 @@ struct BenchProgram
 
 /**
  * Process-wide cache of generated benchmarks. Thread-safe: get() and
- * pregenerate() may be called from any thread (the cache is
- * mutex-guarded and entries have stable addresses once published).
+ * pregenerate() may be called from any thread. Each benchmark has its
+ * own once-flag slot (fixed at construction, stable addresses), so
+ * concurrent builds of *different* benchmarks never serialize against
+ * each other and concurrent get()s of the *same* benchmark build it
+ * exactly once.
  */
 class Suite
 {
@@ -48,11 +52,13 @@ class Suite
     const BenchProgram &get(const std::string &name);
 
     /**
-     * Generates and compresses every standard benchmark that is not in
-     * the cache yet, fanning the independent generations out across the
-     * thread pool (each profile has its own RNG seed, so the result is
-     * identical to serial generation). Table binaries that touch the
-     * whole suite call this once up front.
+     * Generates and compresses every standard benchmark, fanning the
+     * independent builds out across the thread pool (each profile has
+     * its own RNG seed, so the result is identical to serial
+     * generation; per-benchmark once-flags make repeat calls free).
+     * Table binaries that touch the whole suite call this once up
+     * front. With a warm artifact cache the builds load verified
+     * images/traces from disk instead of recomputing.
      * @param threads worker count; 0 means defaultThreadCount()
      */
     void pregenerate(unsigned threads = 0);
@@ -85,13 +91,41 @@ class Suite
   private:
     Suite();
 
-    /** Builds (without publishing) the benchmark for @p name. */
-    static std::unique_ptr<BenchProgram> build(const std::string &name);
+    /** One benchmark's build-once slot. The map is immutable after
+     *  construction, so lookups need no lock; call_once publishes the
+     *  built BenchProgram to every waiter. */
+    struct Slot
+    {
+        std::once_flag once;
+        std::unique_ptr<BenchProgram> bench;
+    };
 
     std::vector<std::string> names_;
-    std::mutex mutex_; // guards cache_
-    std::map<std::string, std::unique_ptr<BenchProgram>> cache_;
+    std::map<std::string, Slot> slots_;
 };
+
+/**
+ * Cache keys for one benchmark's pregeneration artifacts. Each key
+ * embeds every input the artifact is a function of — the full profile
+ * (including its seed), the producing component's config, and a
+ * format/code version tag — so any change invalidates by construction.
+ */
+std::string benchProgramKey(const BenchmarkProfile &profile);
+std::string benchImageKey(const BenchmarkProfile &profile,
+                          const codepack::CompressorConfig &cfg);
+std::string benchTraceKey(const BenchmarkProfile &profile, u64 trace_cap);
+
+/**
+ * Builds one benchmark — program, CodePack image, recorded trace —
+ * through @p cache: verified artifacts load from disk, anything missing
+ * or corrupt is recomputed (and stored back). The result is identical
+ * to an uncached build either way. Suite::get() wraps this with the
+ * process-wide cache; benches use private cache instances to measure
+ * cold against warm.
+ * @param trace_cap recorded-trace entry cap; 0 means Suite::traceInsns()
+ */
+std::unique_ptr<BenchProgram> buildBenchProgram(
+    const std::string &name, const ArtifactCache &cache, u64 trace_cap = 0);
 
 /** Everything a table needs from one timed run. */
 struct RunOutcome

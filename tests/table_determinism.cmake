@@ -1,8 +1,11 @@
-# Runs a table binary three ways — engine serial (CPS_THREADS=1), on 8
-# workers, and on 8 workers with trace replay disabled (CPS_REPLAY=0) —
-# and fails unless all three stdouts are byte-identical. This is the
-# user-visible face of two contracts: runMatrix determinism at any
-# worker count, and trace-replay equivalence with live execution.
+# Runs a table binary five ways — engine serial (CPS_THREADS=1), on 8
+# workers, on 8 workers with trace replay disabled (CPS_REPLAY=0), and
+# on 8 workers against a cold then warm artifact cache — and fails
+# unless all five stdouts are byte-identical. This is the user-visible
+# face of three contracts: runMatrix determinism at any worker count,
+# trace-replay equivalence with live execution, and artifact-cache
+# transparency (cached pregeneration loads exactly what a cold run
+# computes).
 #
 # Expects: TABLE_BIN (the binary), WORK_DIR (scratch directory).
 # Optional: OUT_PREFIX (scratch-file prefix, default "table_det").
@@ -17,8 +20,15 @@ endif()
 set(serial_out "${WORK_DIR}/${OUT_PREFIX}_serial.txt")
 set(parallel_out "${WORK_DIR}/${OUT_PREFIX}_parallel.txt")
 set(live_out "${WORK_DIR}/${OUT_PREFIX}_live.txt")
+set(cache_cold_out "${WORK_DIR}/${OUT_PREFIX}_cache_cold.txt")
+set(cache_warm_out "${WORK_DIR}/${OUT_PREFIX}_cache_warm.txt")
+set(cache_dir "${WORK_DIR}/${OUT_PREFIX}_cache")
 
 set(ENV{CPS_INSNS} "20000")
+
+# The three baseline runs pregenerate from scratch every time (cache
+# disabled), as the suite did before the artifact cache existed.
+set(ENV{CPS_ARTIFACT_CACHE} "0")
 
 set(ENV{CPS_THREADS} "1")
 execute_process(COMMAND ${TABLE_BIN}
@@ -43,6 +53,27 @@ execute_process(COMMAND ${TABLE_BIN}
 if (NOT live_rc EQUAL 0)
     message(FATAL_ERROR "live (CPS_REPLAY=0) run failed (rc=${live_rc})")
 endif()
+unset(ENV{CPS_REPLAY})
+
+# Cache runs: cold (fresh directory, computes and stores) then warm
+# (loads everything back). Both must reproduce the baseline bytes.
+set(ENV{CPS_ARTIFACT_CACHE} "1")
+set(ENV{CPS_CACHE_DIR} "${cache_dir}")
+file(REMOVE_RECURSE ${cache_dir})
+
+execute_process(COMMAND ${TABLE_BIN}
+    OUTPUT_FILE ${cache_cold_out}
+    RESULT_VARIABLE cache_cold_rc)
+if (NOT cache_cold_rc EQUAL 0)
+    message(FATAL_ERROR "cache-cold run failed (rc=${cache_cold_rc})")
+endif()
+
+execute_process(COMMAND ${TABLE_BIN}
+    OUTPUT_FILE ${cache_warm_out}
+    RESULT_VARIABLE cache_warm_rc)
+if (NOT cache_warm_rc EQUAL 0)
+    message(FATAL_ERROR "cache-warm run failed (rc=${cache_warm_rc})")
+endif()
 
 execute_process(
     COMMAND ${CMAKE_COMMAND} -E compare_files ${serial_out} ${parallel_out}
@@ -58,4 +89,20 @@ execute_process(
 if (NOT replay_diff_rc EQUAL 0)
     message(FATAL_ERROR
         "table output differs between trace replay and CPS_REPLAY=0")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${serial_out} ${cache_cold_out}
+    RESULT_VARIABLE cold_diff_rc)
+if (NOT cold_diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "table output differs between disabled and cold artifact cache")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${serial_out} ${cache_warm_out}
+    RESULT_VARIABLE warm_diff_rc)
+if (NOT warm_diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "table output differs between disabled and warm artifact cache")
 endif()
