@@ -44,17 +44,20 @@ main()
     }
     m.run();
 
+    auto fmtSpd = [](const RunOutcome &n, const RunOutcome &o) {
+        return TextTable::fmt(speedup(n, o), 3);
+    };
     for (const std::string &name : suite.names()) {
         std::vector<std::string> row{name};
         for (size_t i = 0; i < 4; ++i) {
-            RunOutcome rn = m.next();
-            RunOutcome rc = m.next();
-            RunOutcome ro = m.next();
-            row.push_back(TextTable::fmt(speedup(rn, rc), 3));
-            row.push_back(TextTable::fmt(speedup(rn, ro), 3));
+            harness::CellOutcome cn = m.nextCell();
+            harness::CellOutcome cc = m.nextCell();
+            harness::CellOutcome co = m.nextCell();
+            row.push_back(harness::fmtCells(cn, cc, fmtSpd));
+            row.push_back(harness::fmtCells(cn, co, fmtSpd));
         }
         t.addRow(row);
     }
     t.print();
-    return 0;
+    return m.exitSummary();
 }

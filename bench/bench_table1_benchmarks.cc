@@ -39,13 +39,18 @@ main()
     int row = 0;
     for (const std::string &name : suite.names()) {
         const BenchProgram &bench = suite.get(name);
-        const RunOutcome &out = m.next();
-        t.addRow({name, TextTable::grouped(out.result.instructions),
+        const harness::CellOutcome &cell = m.nextCell();
+        const RunOutcome &out = cell.outcome;
+        t.addRow({name,
+                  cell.status.ok()
+                      ? TextTable::grouped(out.result.instructions)
+                      : harness::failLabel(cell.status),
                   TextTable::fmt(bench.program.text.bytes.size() / 1024.0,
                                  1),
-                  TextTable::pct(out.icacheMissRate),
+                  cell.status.ok() ? TextTable::pct(out.icacheMissRate)
+                                   : harness::failLabel(cell.status),
                   paper_miss[row++]});
     }
     t.print();
-    return 0;
+    return m.exitSummary();
 }

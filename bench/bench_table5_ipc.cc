@@ -74,9 +74,11 @@ main()
     for (const std::string &name : suite.names()) {
         std::vector<std::string> row{name};
         for (size_t i = 0; i < 9; ++i)
-            row.push_back(TextTable::fmt(mat.next().result.ipc(), 3));
+            row.push_back(mat.fmtNext([](const RunOutcome &o) {
+                return TextTable::fmt(o.result.ipc(), 3);
+            }));
         t.addRow(row);
     }
     t.print();
-    return 0;
+    return mat.exitSummary();
 }

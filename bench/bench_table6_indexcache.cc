@@ -41,11 +41,13 @@ main()
     for (unsigned nl : lines) {
         std::vector<std::string> row{TextTable::grouped(nl)};
         for (size_t i = 0; i < 4; ++i)
-            row.push_back(TextTable::pct(m.next().indexCacheMissRate));
+            row.push_back(m.fmtNext([](const RunOutcome &o) {
+                return TextTable::pct(o.indexCacheMissRate);
+            }));
         t.addRow(row);
     }
     t.addRule();
     t.addRow({"(paper, 64x4)", "", "", "< 15%", ""});
     t.print();
-    return 0;
+    return m.exitSummary();
 }

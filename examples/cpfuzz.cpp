@@ -12,11 +12,21 @@
  *     --seed S        base seed                    (default 0x600d5eed)
  *     --no-crc        skip CRC verification at load (stress the decode
  *                     path's own structural defences)
+ *     --self-test-crash  crash deliberately (SIGSEGV) before fuzzing;
+ *                     lets process-level fault campaigns verify that a
+ *                     crashing fuzzer is reported as a crash
  *
- * Exit status: 0 when no corruption was silently accepted with a wrong
- * decode under CRC verification; 1 otherwise.
+ * Exit status (distinct codes so process-level campaigns can assert on
+ * the three ways a fuzz run ends):
+ *   0  clean — every corruption was detected, rejected, or benign
+ *   1  fatal — bad usage or unloadable input (cps_fatal)
+ *   2  detected corruption — at least one silently-wrong decode under
+ *      CRC verification (the defect this fuzzer exists to surface)
+ *   death by signal — the decode path itself crashed (or
+ *      --self-test-crash); the wait status carries the signal
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,6 +40,16 @@
 #include "progen/progen.hh"
 
 using namespace cps;
+
+namespace
+{
+
+/** Exit codes, kept distinct so wait-status assertions are unambiguous
+ *  (1 is cps_fatal's code; signal deaths have no exit code at all). */
+constexpr int kExitClean = 0;
+constexpr int kExitCorruptionEscaped = 2;
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -51,6 +71,11 @@ main(int argc, char **argv)
             cfg.seed = std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--no-crc") {
             cfg.verifyCrc = false;
+        } else if (arg == "--self-test-crash") {
+            std::fprintf(stderr, "cpfuzz: --self-test-crash: raising "
+                                 "SIGSEGV\n");
+            ::raise(SIGSEGV);
+            return 1; // not reached (unless the signal is blocked)
         } else if (!arg.empty() && arg[0] == '-') {
             cps_fatal("unknown option '%s'", arg.c_str());
         } else {
@@ -111,10 +136,13 @@ main(int argc, char **argv)
     if (res.silentlyWrong() > 0) {
         std::printf("\nfirst silently-wrong fault: %s\n",
                     res.firstSilentWrong.describe().c_str());
-        if (cfg.verifyCrc)
-            return 1; // CRCs on: silent acceptance is a real failure
+        if (cfg.verifyCrc) {
+            // CRCs on: silent acceptance is a real failure, and its
+            // exit code must stay distinct from cps_fatal's 1.
+            return kExitCorruptionEscaped;
+        }
         std::printf("(CRC verification was off; silent corruption of "
                     "the stream is expected there)\n");
     }
-    return 0;
+    return kExitClean;
 }

@@ -1,6 +1,8 @@
 #include "artifact_cache.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,9 +26,12 @@ std::atomic<u64> tmpSeq{0};
 
 } // namespace
 
-ArtifactCache::ArtifactCache(std::string dir, bool enabled)
-    : dir_(std::move(dir)), enabled_(enabled)
-{}
+ArtifactCache::ArtifactCache(std::string dir, bool enabled, u64 max_bytes)
+    : dir_(std::move(dir)), enabled_(enabled), maxBytes_(max_bytes)
+{
+    if (enabled_)
+        maintain();
+}
 
 const ArtifactCache &
 ArtifactCache::instance()
@@ -39,9 +44,81 @@ ArtifactCache::instance()
         if (const char *env = std::getenv("CPS_CACHE_DIR"))
             if (*env != '\0')
                 dir = env;
-        return ArtifactCache(dir, enabled);
+        u64 max_bytes = 0;
+        if (const char *env = std::getenv("CPS_CACHE_MAX_BYTES")) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(env, &end, 10);
+            if (end && *end == '\0')
+                max_bytes = static_cast<u64>(v);
+            else
+                cps_warn("ignoring malformed CPS_CACHE_MAX_BYTES='%s'",
+                         env);
+        }
+        return ArtifactCache(dir, enabled, max_bytes);
     }();
     return cache;
+}
+
+void
+ArtifactCache::maintain(u64 tmp_age_seconds) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec);
+    if (ec)
+        return; // no directory yet (or unreadable): nothing to clean
+
+    struct Entry
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        u64 size;
+    };
+    std::vector<Entry> entries;
+    u64 total = 0;
+    const auto now = fs::file_time_type::clock::now();
+
+    for (const fs::directory_entry &de : it) {
+        if (!de.is_regular_file(ec))
+            continue;
+        const std::string name = de.path().filename().string();
+        fs::file_time_type mtime = de.last_write_time(ec);
+        if (ec)
+            continue;
+        if (name.find(".tmp.") != std::string::npos) {
+            // A writer publishes its temp file within milliseconds of
+            // creating it; an old one belongs to a killed process.
+            auto age = std::chrono::duration_cast<std::chrono::seconds>(
+                           now - mtime)
+                           .count();
+            if (age >= 0 && static_cast<u64>(age) >= tmp_age_seconds)
+                fs::remove(de.path(), ec);
+            continue;
+        }
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".art") == 0) {
+            u64 size = de.file_size(ec);
+            if (ec)
+                continue;
+            entries.push_back(Entry{de.path(), mtime, size});
+            total += size;
+        }
+    }
+
+    if (maxBytes_ == 0 || total <= maxBytes_)
+        return;
+    // Evict least-recently-used first. load() touches entries, so
+    // mtime approximates last use well enough for a best-effort bound.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const Entry &e : entries) {
+        if (total <= maxBytes_)
+            break;
+        if (fs::remove(e.path, ec))
+            total -= e.size;
+    }
 }
 
 std::string
@@ -100,6 +177,12 @@ ArtifactCache::load(const std::string &key) const
     u32 payload_len = cur.get32();
     if (!cur.ok() || cur.remaining() != size_t{payload_len} + 4)
         return std::nullopt;
+
+    // Touch the entry so LRU eviction (maintain) sees it as recent.
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        entryPath(key), std::filesystem::file_time_type::clock::now(), ec);
+
     return cur.getBytes(payload_len);
 }
 

@@ -1,0 +1,212 @@
+#include "ipc_frame.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+#include "byteio.hh"
+#include "crc32.hh"
+
+namespace cps
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'C', 'P', 'F', 'R'};
+constexpr size_t kHeaderBytes = 4 + 4 + 4; // magic, type, payloadLen
+constexpr size_t kTrailerBytes = 4;        // CRC
+
+/** Milliseconds left until @p deadline, clamped at 0; -1 when none. */
+long
+remainingMs(bool have_deadline,
+            std::chrono::steady_clock::time_point deadline)
+{
+    if (!have_deadline)
+        return -1;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+    return left < 0 ? 0 : static_cast<long>(left);
+}
+
+/**
+ * Reads exactly @p n bytes into @p dst, honouring the deadline.
+ * @return Ok, or Eof when the stream ended after @p got_any==false and
+ *         zero bytes (a clean boundary is the caller's concern)
+ */
+FrameReadStatus
+readFully(int fd, u8 *dst, size_t n, bool have_deadline,
+          std::chrono::steady_clock::time_point deadline, bool *got_any)
+{
+    size_t got = 0;
+    while (got < n) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        int rc = ::poll(&pfd, 1, static_cast<int>(
+                                     remainingMs(have_deadline, deadline)));
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return FrameReadStatus::IoError;
+        }
+        if (rc == 0)
+            return FrameReadStatus::Timeout;
+        ssize_t r = ::read(fd, dst + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return FrameReadStatus::IoError;
+        }
+        if (r == 0)
+            return FrameReadStatus::Eof;
+        got += static_cast<size_t>(r);
+        if (got_any)
+            *got_any = true;
+    }
+    return FrameReadStatus::Ok;
+}
+
+} // namespace
+
+const char *
+frameReadStatusName(FrameReadStatus status)
+{
+    switch (status) {
+      case FrameReadStatus::Ok:
+        return "ok";
+      case FrameReadStatus::Eof:
+        return "eof";
+      case FrameReadStatus::Torn:
+        return "torn";
+      case FrameReadStatus::Timeout:
+        return "timeout";
+      case FrameReadStatus::IoError:
+        return "io-error";
+    }
+    return "?";
+}
+
+std::vector<u8>
+encodeFrame(u32 type, const std::vector<u8> &payload)
+{
+    std::vector<u8> out;
+    out.reserve(kHeaderBytes + payload.size() + kTrailerBytes);
+    for (char c : kMagic)
+        out.push_back(static_cast<u8>(c));
+    put32(out, type);
+    put32(out, static_cast<u32>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    put32(out, crc32(out));
+    return out;
+}
+
+FrameReadStatus
+decodeFrameAt(const std::vector<u8> &bytes, size_t &pos, IpcFrame &out)
+{
+    if (pos == bytes.size())
+        return FrameReadStatus::Eof;
+    if (bytes.size() - pos < kHeaderBytes + kTrailerBytes)
+        return FrameReadStatus::Torn;
+    if (std::memcmp(bytes.data() + pos, kMagic, sizeof(kMagic)) != 0)
+        return FrameReadStatus::Torn;
+    u32 type = static_cast<u32>(bytes[pos + 4]) |
+               (static_cast<u32>(bytes[pos + 5]) << 8) |
+               (static_cast<u32>(bytes[pos + 6]) << 16) |
+               (static_cast<u32>(bytes[pos + 7]) << 24);
+    u32 len = static_cast<u32>(bytes[pos + 8]) |
+              (static_cast<u32>(bytes[pos + 9]) << 8) |
+              (static_cast<u32>(bytes[pos + 10]) << 16) |
+              (static_cast<u32>(bytes[pos + 11]) << 24);
+    size_t total = kHeaderBytes + size_t{len} + kTrailerBytes;
+    if (bytes.size() - pos < total)
+        return FrameReadStatus::Torn;
+    const u8 *frame = bytes.data() + pos;
+    u32 stored = static_cast<u32>(frame[total - 4]) |
+                 (static_cast<u32>(frame[total - 3]) << 8) |
+                 (static_cast<u32>(frame[total - 2]) << 16) |
+                 (static_cast<u32>(frame[total - 1]) << 24);
+    if (crc32(frame, total - 4) != stored)
+        return FrameReadStatus::Torn;
+    out.type = type;
+    out.payload.assign(frame + kHeaderBytes, frame + total - kTrailerBytes);
+    pos += total;
+    return FrameReadStatus::Ok;
+}
+
+bool
+writeFrame(int fd, u32 type, const std::vector<u8> &payload)
+{
+    std::vector<u8> bytes = encodeFrame(type, payload);
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t w = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(w);
+    }
+    return true;
+}
+
+FrameReadStatus
+readFrame(int fd, IpcFrame &out, long timeout_ms)
+{
+    const bool have_deadline = timeout_ms >= 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms < 0
+                                                        ? 0
+                                                        : timeout_ms);
+
+    u8 header[kHeaderBytes];
+    bool got_any = false;
+    FrameReadStatus st = readFully(fd, header, sizeof(header),
+                                   have_deadline, deadline, &got_any);
+    if (st == FrameReadStatus::Eof)
+        return got_any ? FrameReadStatus::Torn : FrameReadStatus::Eof;
+    if (st != FrameReadStatus::Ok)
+        return st;
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        return FrameReadStatus::Torn;
+    u32 type = static_cast<u32>(header[4]) |
+               (static_cast<u32>(header[5]) << 8) |
+               (static_cast<u32>(header[6]) << 16) |
+               (static_cast<u32>(header[7]) << 24);
+    u32 len = static_cast<u32>(header[8]) |
+              (static_cast<u32>(header[9]) << 8) |
+              (static_cast<u32>(header[10]) << 16) |
+              (static_cast<u32>(header[11]) << 24);
+    // A pipe peer is in the same trust domain as a cache file: bound the
+    // allocation before believing the declared length (64 MiB is far
+    // beyond any legitimate result envelope).
+    if (len > (64u << 20))
+        return FrameReadStatus::Torn;
+
+    std::vector<u8> body(size_t{len} + kTrailerBytes);
+    st = readFully(fd, body.data(), body.size(), have_deadline, deadline,
+                   nullptr);
+    if (st == FrameReadStatus::Eof)
+        return FrameReadStatus::Torn; // died mid-frame
+    if (st != FrameReadStatus::Ok)
+        return st;
+
+    u32 stored = static_cast<u32>(body[body.size() - 4]) |
+                 (static_cast<u32>(body[body.size() - 3]) << 8) |
+                 (static_cast<u32>(body[body.size() - 2]) << 16) |
+                 (static_cast<u32>(body[body.size() - 1]) << 24);
+    u32 crc = crc32(header, sizeof(header));
+    crc = crc32(body.data(), body.size() - kTrailerBytes, crc);
+    if (crc != stored)
+        return FrameReadStatus::Torn;
+    out.type = type;
+    out.payload.assign(body.begin(),
+                       body.end() - static_cast<long>(kTrailerBytes));
+    return FrameReadStatus::Ok;
+}
+
+} // namespace cps

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * CRC'd message framing for byte streams between cooperating processes.
+ *
+ * The crash-isolated experiment harness runs each matrix cell in a
+ * forked worker and ships the result back over a pipe. The bytes on
+ * that pipe are untrusted in exactly the way cached artifacts are: the
+ * writer may have been killed mid-frame, crashed after writing half a
+ * payload, or (in fault-campaign runs) deliberately garbled the stream.
+ * Every frame therefore carries its own length and a CRC-32 over the
+ * whole frame, and the reader classifies what it saw — a verified
+ * frame, a clean EOF, a torn/garbled frame, or a deadline expiry —
+ * instead of trusting any byte.
+ *
+ * Frame layout (little-endian):
+ *   magic "CPFR"            4 bytes
+ *   u32 type                caller-defined message type
+ *   u32 payloadLen, payload
+ *   u32 CRC-32 over everything above
+ *
+ * The same encoding doubles as the on-disk record format of the matrix
+ * journal (an append-only file of frames): a process killed mid-append
+ * leaves a torn final frame, which decodeFrames() cleanly stops at.
+ */
+
+#ifndef CPS_COMMON_IPC_FRAME_HH
+#define CPS_COMMON_IPC_FRAME_HH
+
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace cps
+{
+
+/** One framed message. */
+struct IpcFrame
+{
+    u32 type = 0;
+    std::vector<u8> payload;
+};
+
+/** Serializes one frame (magic, type, length, payload, CRC). */
+std::vector<u8> encodeFrame(u32 type, const std::vector<u8> &payload);
+
+/** How a stream read ended. */
+enum class FrameReadStatus
+{
+    Ok,      ///< a complete, CRC-verified frame
+    Eof,     ///< clean end of stream at a frame boundary
+    Torn,    ///< stream ended mid-frame (writer died), or bad magic/CRC
+    Timeout, ///< the deadline expired before a full frame arrived
+    IoError, ///< read(2)/poll(2) failed
+};
+
+/** Short stable name for a status ("ok", "eof", "torn", ...). */
+const char *frameReadStatusName(FrameReadStatus status);
+
+/**
+ * Decodes consecutive frames from @p bytes starting at @p pos,
+ * advancing @p pos past each verified frame. Returns Ok and fills
+ * @p out for each frame; Eof exactly at the end; Torn on a damaged or
+ * truncated frame (pos is left at the damaged frame's start).
+ */
+FrameReadStatus decodeFrameAt(const std::vector<u8> &bytes, size_t &pos,
+                              IpcFrame &out);
+
+/**
+ * Writes one frame to @p fd, retrying short writes and EINTR.
+ * @return false on any unrecoverable write error (EPIPE included)
+ */
+bool writeFrame(int fd, u32 type, const std::vector<u8> &payload);
+
+/**
+ * Reads one frame from @p fd, blocking up to @p timeout_ms
+ * (negative = no deadline). On Timeout/Torn/IoError the stream
+ * position is unspecified — the caller is expected to give up on the
+ * peer, not resynchronize.
+ */
+FrameReadStatus readFrame(int fd, IpcFrame &out, long timeout_ms);
+
+} // namespace cps
+
+#endif // CPS_COMMON_IPC_FRAME_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic progress watchdog for the simulator's timing loops.
+ *
+ * A pipeline that livelocks (clock advancing, nothing retiring) would
+ * otherwise spin until the process is killed from outside, taking every
+ * other matrix cell's completed work with it. The watchdog counts loop
+ * iterations — not wall-clock time, so a run under a sanitizer or a
+ * loaded host trips at exactly the same point as a fast one and table
+ * output stays byte-identical — and declares a stall after N consecutive
+ * heartbeat checks in which the retired-instruction counter did not
+ * move. The tripped run returns a structured RunResult (status
+ * Stalled), mirroring the DecodeStatus policy: diagnose, don't abort.
+ */
+
+#ifndef CPS_COMMON_WATCHDOG_HH
+#define CPS_COMMON_WATCHDOG_HH
+
+#include "types.hh"
+
+namespace cps
+{
+
+/** Counts heartbeat checks without forward progress. */
+class ProgressWatchdog
+{
+  public:
+    /**
+     * @param interval loop iterations between heartbeat checks
+     * @param stall_limit consecutive no-progress checks before the
+     *        watchdog trips; 0 disables it entirely
+     */
+    ProgressWatchdog(u64 interval, unsigned stall_limit)
+        : interval_(interval == 0 ? 1 : interval), stallLimit_(stall_limit)
+    {}
+
+    /**
+     * Ticks one loop iteration with the current value of a
+     * monotonically non-decreasing progress counter.
+     * @return true when the stall limit has been reached
+     */
+    bool
+    tick(u64 progress)
+    {
+        if (stallLimit_ == 0)
+            return false;
+        if (++iter_ < interval_)
+            return false;
+        iter_ = 0;
+        if (progress != lastProgress_) {
+            lastProgress_ = progress;
+            stalledChecks_ = 0;
+            return false;
+        }
+        return ++stalledChecks_ >= stallLimit_;
+    }
+
+    /** Checks with no progress since the last advancing check. */
+    unsigned stalledChecks() const { return stalledChecks_; }
+
+  private:
+    u64 interval_;
+    unsigned stallLimit_;
+    u64 iter_ = 0;
+    u64 lastProgress_ = ~u64{0}; // first check always counts as progress
+    unsigned stalledChecks_ = 0;
+};
+
+} // namespace cps
+
+#endif // CPS_COMMON_WATCHDOG_HH

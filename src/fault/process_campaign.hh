@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Process-level fault campaign: prove the crash-isolated experiment
+ * harness survives misbehaving workers.
+ *
+ * Where the byte-level campaigns (campaign.hh) corrupt an encoded
+ * image and check the decode path, this campaign corrupts the
+ * *processes*: it runs a small experiment matrix in which selected
+ * cells' forked workers crash, get SIGKILLed, hang past the deadline,
+ * garble their result frame, or exit nonzero — and asserts that the
+ * parent (a) never dies, (b) classifies each fault into the expected
+ * structured CellStatus, and (c) returns results for every healthy
+ * cell that are identical to an inline, fault-free run.
+ */
+
+#ifndef CPS_FAULT_PROCESS_CAMPAIGN_HH
+#define CPS_FAULT_PROCESS_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/cell_runner.hh"
+
+namespace cps
+{
+namespace fault
+{
+
+/** Campaign parameters. */
+struct ProcessCampaignConfig
+{
+    u64 insns = 20000;     ///< per-cell instruction budget
+    long timeoutMs = 3000; ///< deadline that converts Hang into Timeout
+    unsigned retries = 0;  ///< retry budget under test (0: fail fast)
+    unsigned backoffMs = 10;
+};
+
+/** One injected fault and how the harness handled it. */
+struct ProcessFaultRecord
+{
+    harness::CellFault fault = harness::CellFault::None;
+    harness::CellState expected = harness::CellState::Ok;
+    harness::CellState observed = harness::CellState::Ok;
+    bool asExpected = false;
+    bool cleanMatched = true; ///< healthy-cell outcome == inline run
+    std::string detail;
+};
+
+/** Aggregated campaign outcome. */
+struct ProcessCampaignResult
+{
+    std::vector<ProcessFaultRecord> records;
+    unsigned mismatches = 0;     ///< faults not classified as expected
+    unsigned cleanMismatches = 0; ///< healthy cells differing from inline
+
+    bool ok() const { return mismatches == 0 && cleanMismatches == 0; }
+};
+
+/** The CellState each injected CellFault must be classified as. */
+harness::CellState expectedStateFor(harness::CellFault fault);
+
+/**
+ * Runs the campaign: for every fault kind, a 3-cell matrix (healthy,
+ * faulted, healthy) through an isolating CellRunner, checked against
+ * an inline fault-free baseline. Requires fork(2); always isolates
+ * regardless of CPS_ISOLATE.
+ */
+ProcessCampaignResult
+runProcessCampaign(const BenchProgram &bench, const MachineConfig &cfg,
+                   const ProcessCampaignConfig &ccfg);
+
+} // namespace fault
+} // namespace cps
+
+#endif // CPS_FAULT_PROCESS_CAMPAIGN_HH

@@ -1,0 +1,145 @@
+#include "journal.hh"
+
+#include <cstdlib>
+#include <fcntl.h>
+#include <filesystem>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/byteio.hh"
+#include "common/ipc_frame.hh"
+#include "common/logging.hh"
+
+namespace cps
+{
+namespace harness
+{
+
+namespace
+{
+
+constexpr u32 kFrameJournalHeader = 100;
+constexpr u32 kFrameJournalRecord = 101;
+
+/** Length of ArtifactCache::keyHash output (hex FNV-1a 64). */
+constexpr size_t kHashChars = 16;
+
+/** Writes @p bytes to @p path in one append; best-effort. */
+bool
+appendOnce(const std::string &path, const std::vector<u8> &bytes)
+{
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        return false;
+    // One write(2) per record: a kill tears at most the file's tail,
+    // and O_APPEND keeps concurrent appenders from interleaving.
+    ssize_t w = ::write(fd, bytes.data(), bytes.size());
+    ::close(fd);
+    return w == static_cast<ssize_t>(bytes.size());
+}
+
+} // namespace
+
+bool
+resumeEnabled()
+{
+    static const bool cached = [] {
+        const char *env = std::getenv("CPS_RESUME");
+        return env != nullptr && std::string(env) != "0";
+    }();
+    return cached;
+}
+
+std::string
+journalDir()
+{
+    if (const char *env = std::getenv("CPS_CACHE_DIR"))
+        if (*env != '\0')
+            return env;
+    return ".cps-cache";
+}
+
+MatrixJournal::MatrixJournal(std::string dir, std::string matrix_key,
+                             size_t num_cells)
+    : dir_(std::move(dir)), matrixKey_(std::move(matrix_key)),
+      numCells_(num_cells)
+{
+    path_ = dir_ + "/" + ArtifactCache::keyHash(matrixKey_) + ".journal";
+}
+
+std::vector<std::optional<RunOutcome>>
+MatrixJournal::load(const std::vector<RunRequest> &requests) const
+{
+    std::vector<std::optional<RunOutcome>> out(numCells_);
+    auto bytes = readFileBytes(path_);
+    if (!bytes)
+        return out; // no journal yet
+
+    size_t pos = 0;
+    IpcFrame frame;
+
+    // Header: the full matrix key defends the (hashed) file name
+    // against collisions and the journal against a changed matrix.
+    if (decodeFrameAt(*bytes, pos, frame) != FrameReadStatus::Ok ||
+        frame.type != kFrameJournalHeader ||
+        std::string(frame.payload.begin(), frame.payload.end()) !=
+            matrixKey_) {
+        return std::vector<std::optional<RunOutcome>>(numCells_);
+    }
+
+    while (decodeFrameAt(*bytes, pos, frame) == FrameReadStatus::Ok) {
+        if (frame.type != kFrameJournalRecord)
+            continue; // unknown record kind: skip, stay compatible
+        ByteCursor cur(frame.payload);
+        u32 index = cur.get32();
+        std::string hash = cur.getString(kHashChars);
+        if (!cur.ok() || index >= numCells_ || index >= requests.size())
+            continue;
+        if (hash != ArtifactCache::keyHash(cellKey(requests[index])))
+            continue; // stale record for a changed cell
+        Result<RunOutcome> env =
+            decodeRunOutcomeChecked(cur.getBytes(cur.remaining()));
+        if (!env)
+            continue;
+        out[index] = std::move(*env);
+    }
+    // decodeFrameAt stopping on Torn drops the (killed-mid-append)
+    // tail; everything verified above it stands.
+    return out;
+}
+
+void
+MatrixJournal::append(size_t index, const std::string &cell_key,
+                      const RunOutcome &outcome)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        return;
+
+    if (!headerWritten_) {
+        struct stat st;
+        bool empty = ::stat(path_.c_str(), &st) != 0 || st.st_size == 0;
+        if (empty) {
+            std::vector<u8> key_bytes(matrixKey_.begin(),
+                                      matrixKey_.end());
+            if (!appendOnce(path_,
+                            encodeFrame(kFrameJournalHeader, key_bytes)))
+                return;
+        }
+        headerWritten_ = true;
+    }
+
+    std::vector<u8> payload;
+    put32(payload, static_cast<u32>(index));
+    std::string hash = ArtifactCache::keyHash(cell_key);
+    payload.insert(payload.end(), hash.begin(), hash.end());
+    std::vector<u8> env = encodeRunOutcome(outcome);
+    payload.insert(payload.end(), env.begin(), env.end());
+    appendOnce(path_, encodeFrame(kFrameJournalRecord, payload));
+}
+
+} // namespace harness
+} // namespace cps

@@ -6,6 +6,8 @@
 #ifndef CPS_PIPELINE_CONFIG_HH
 #define CPS_PIPELINE_CONFIG_HH
 
+#include <string>
+
 #include "common/types.hh"
 
 namespace cps
@@ -41,7 +43,34 @@ struct PipelineConfig
      * (fetch redirect + decode refill in a 5+-stage front end).
      */
     unsigned mispredictExtra = 2;
+
+    /**
+     * Progress-watchdog heartbeat: loop iterations between checks of
+     * the retired-instruction counter. Iteration counts (not wall
+     * clock) keep the trip point deterministic at any host speed.
+     */
+    u64 watchdogInterval = u64{1} << 22;
+    /**
+     * Consecutive heartbeat checks without a retirement before the run
+     * aborts with RunStatus::Stalled instead of spinning forever.
+     * 0 disables the watchdog.
+     */
+    unsigned watchdogStallLimit = 4;
 };
+
+/** Whether a timed run completed or was cut short by the watchdog. */
+enum class RunStatus : u8
+{
+    Ok = 0,
+    Stalled = 1, ///< the progress watchdog saw no retirement for too long
+};
+
+/** Short stable name for a status ("ok", "stalled"). */
+inline const char *
+runStatusName(RunStatus status)
+{
+    return status == RunStatus::Ok ? "ok" : "stalled";
+}
 
 /** Result of a timed run. */
 struct RunResult
@@ -49,6 +78,10 @@ struct RunResult
     u64 instructions = 0;
     Cycle cycles = 0;
     bool programExited = false;
+    RunStatus status = RunStatus::Ok;
+    std::string statusDetail; ///< diagnosis when status != Ok
+
+    bool ok() const { return status == RunStatus::Ok; }
 
     double
     ipc() const

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/watchdog.hh"
+
 namespace cps
 {
 
@@ -96,7 +98,19 @@ OoOPipeline::run(u64 max_insns)
     auto ruu_empty = [&] { return headSeq_ == tailSeq_; };
     auto ruu_full = [&] { return tailSeq_ - headSeq_ == ruu_.size(); };
 
+    // Livelock guard: the deadlock assert below catches a cycle that
+    // cannot advance, but a bug where the clock advances forever with
+    // nothing ever committing would spin silently. The watchdog turns
+    // that into a structured, deterministic abort.
+    ProgressWatchdog watchdog(cfg_.watchdogInterval,
+                              cfg_.watchdogStallLimit);
+    bool stalled = false;
+
     while (retired < max_insns) {
+        if (watchdog.tick(retired)) {
+            stalled = true;
+            break;
+        }
         bool progress = false;
 
         // ------------------------------------------------------- commit
@@ -328,6 +342,16 @@ OoOPipeline::run(u64 max_insns)
     res.instructions = retired;
     res.cycles = clock;
     res.programExited = exited;
+    if (stalled) {
+        res.status = RunStatus::Stalled;
+        res.statusDetail = strfmt(
+            "no instruction retired for %u watchdog checks "
+            "(%llu iterations each) at cycle %llu, %llu retired",
+            watchdog.stalledChecks(),
+            static_cast<unsigned long long>(cfg_.watchdogInterval),
+            static_cast<unsigned long long>(clock),
+            static_cast<unsigned long long>(retired));
+    }
     statInsns_.set(retired);
     statCycles_.set(clock);
     return res;

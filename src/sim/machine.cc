@@ -141,9 +141,15 @@ Machine::run(u64 max_insns)
                    replayTrace_->covers(max_insns, replayLookahead(cfg_)),
                "trace does not cover a %llu-insn run",
                static_cast<unsigned long long>(max_insns));
-    if (inorder_)
-        return inorder_->run(max_insns);
-    return ooo_->run(max_insns);
+    RunResult res =
+        inorder_ ? inorder_->run(max_insns) : ooo_->run(max_insns);
+    // The pipeline's progress watchdog returns a structured abort
+    // instead of spinning; surface it here so even callers that only
+    // look at cycles get a diagnosis on stderr.
+    if (res.status != RunStatus::Ok)
+        cps_warn("machine '%s' run aborted (%s): %s", cfg_.name.c_str(),
+                 runStatusName(res.status), res.statusDetail.c_str());
+    return res;
 }
 
 codepack::DecompressorModel *

@@ -1,11 +1,13 @@
-# Runs a table binary five ways — engine serial (CPS_THREADS=1), on 8
-# workers, on 8 workers with trace replay disabled (CPS_REPLAY=0), and
-# on 8 workers against a cold then warm artifact cache — and fails
-# unless all five stdouts are byte-identical. This is the user-visible
-# face of three contracts: runMatrix determinism at any worker count,
-# trace-replay equivalence with live execution, and artifact-cache
-# transparency (cached pregeneration loads exactly what a cold run
-# computes).
+# Runs a table binary seven ways — engine serial (CPS_THREADS=1), on 8
+# workers, on 8 workers with trace replay disabled (CPS_REPLAY=0), on 8
+# workers against a cold then warm artifact cache, on 8 forked workers
+# (CPS_ISOLATE=1), and finally killed mid-matrix and resumed
+# (CPS_RESUME=1) — and fails unless all seven stdouts are
+# byte-identical. This is the user-visible face of four contracts:
+# runMatrix determinism at any worker count, trace-replay equivalence
+# with live execution, artifact-cache transparency, and resilience
+# transparency (worker isolation and journal replay change how cells
+# execute, never what the table prints).
 #
 # Expects: TABLE_BIN (the binary), WORK_DIR (scratch directory).
 # Optional: OUT_PREFIX (scratch-file prefix, default "table_det").
@@ -75,6 +77,47 @@ if (NOT cache_warm_rc EQUAL 0)
     message(FATAL_ERROR "cache-warm run failed (rc=${cache_warm_rc})")
 endif()
 
+# Isolated leg: every cell in a forked worker. The resilience layer
+# must be invisible in the output — same bytes, pure overhead.
+set(isolated_out "${WORK_DIR}/${OUT_PREFIX}_isolated.txt")
+set(ENV{CPS_ISOLATE} "1")
+execute_process(COMMAND ${TABLE_BIN}
+    OUTPUT_FILE ${isolated_out}
+    RESULT_VARIABLE isolated_rc)
+if (NOT isolated_rc EQUAL 0)
+    message(FATAL_ERROR "isolated (CPS_ISOLATE=1) run failed "
+        "(rc=${isolated_rc})")
+endif()
+unset(ENV{CPS_ISOLATE})
+
+# Interrupted/resumed leg: the first run journals each completed cell
+# (CPS_RESUME=1) and the engine's test hook kills the process from
+# inside runMatrix after 5 newly executed cells (exit 42, no cleanup —
+# exactly what an external SIGKILL leaves behind). The rerun must
+# replay the journaled cells, execute only the rest, and print the
+# same bytes an uninterrupted run prints.
+set(interrupted_out "${WORK_DIR}/${OUT_PREFIX}_interrupted.txt")
+set(resumed_out "${WORK_DIR}/${OUT_PREFIX}_resumed.txt")
+set(ENV{CPS_RESUME} "1")
+set(ENV{CPS_TEST_EXIT_AFTER_CELLS} "5")
+execute_process(COMMAND ${TABLE_BIN}
+    OUTPUT_FILE ${interrupted_out}
+    RESULT_VARIABLE interrupted_rc)
+if (NOT interrupted_rc EQUAL 42)
+    message(FATAL_ERROR "interrupted run was expected to die mid-matrix "
+        "with exit 42, got rc=${interrupted_rc}")
+endif()
+unset(ENV{CPS_TEST_EXIT_AFTER_CELLS})
+
+execute_process(COMMAND ${TABLE_BIN}
+    OUTPUT_FILE ${resumed_out}
+    RESULT_VARIABLE resumed_rc)
+if (NOT resumed_rc EQUAL 0)
+    message(FATAL_ERROR "resumed (CPS_RESUME=1) run failed "
+        "(rc=${resumed_rc})")
+endif()
+unset(ENV{CPS_RESUME})
+
 execute_process(
     COMMAND ${CMAKE_COMMAND} -E compare_files ${serial_out} ${parallel_out}
     RESULT_VARIABLE diff_rc)
@@ -105,4 +148,20 @@ execute_process(
 if (NOT warm_diff_rc EQUAL 0)
     message(FATAL_ERROR
         "table output differs between disabled and warm artifact cache")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${serial_out} ${isolated_out}
+    RESULT_VARIABLE iso_diff_rc)
+if (NOT iso_diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "table output differs between inline and CPS_ISOLATE=1 workers")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${serial_out} ${resumed_out}
+    RESULT_VARIABLE resume_diff_rc)
+if (NOT resume_diff_rc EQUAL 0)
+    message(FATAL_ERROR "table output differs between an uninterrupted "
+        "run and a killed-then-resumed (CPS_RESUME=1) run")
 endif()
