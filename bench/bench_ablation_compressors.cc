@@ -126,22 +126,31 @@ main()
              TextTable::pct(cell.d32.compressionRatio()),
              TextTable::grouped(cell.d32.dictionaryEntries())});
 
-        RunOutcome native = m.next();
-        RunOutcome cp_opt = m.next();
+        harness::CellOutcome native = m.nextCell();
+        harness::CellOutcome cp_opt = m.nextCell();
 
         auto rel = [&native](const RunResult &r) {
-            return TextTable::fmt(
-                static_cast<double>(native.result.cycles) /
-                    static_cast<double>(r.cycles),
-                3);
+            return native.status.ok()
+                       ? TextTable::fmt(
+                             static_cast<double>(
+                                 native.outcome.result.cycles) /
+                                 static_cast<double>(r.cycles),
+                             3)
+                       : harness::failLabel(native.status);
         };
-        perf.addRow({name,
-                     TextTable::fmt(speedup(native, cp_opt), 3),
-                     rel(cell.ccrpRun), rel(cell.d32Run)});
+        perf.addRow(
+            {name,
+             harness::fmtCells(native, cp_opt,
+                               [](const RunOutcome &n,
+                                  const RunOutcome &o) {
+                                   return TextTable::fmt(speedup(n, o),
+                                                         3);
+                               }),
+             rel(cell.ccrpRun), rel(cell.d32Run)});
     }
 
     ratios.print();
     std::printf("\n");
     perf.print();
-    return 0;
+    return m.exitSummary();
 }

@@ -58,8 +58,9 @@ main()
     m.run();
 
     for (const std::string &name : suite.names()) {
-        t.addRow({name, avgMissLatency(m.next()), avgMissLatency(m.next()),
-                  avgMissLatency(m.next()), avgMissLatency(m.next())});
+        t.addRow({name, m.fmtNext(avgMissLatency),
+                  m.fmtNext(avgMissLatency), m.fmtNext(avgMissLatency),
+                  m.fmtNext(avgMissLatency)});
     }
     t.print();
 
@@ -67,5 +68,5 @@ main()
                 "baseline CodePack 25 on an\nindex miss; averages fall "
                 "below the anchors because output-buffer hits and\n"
                 "index-cache hits are cheap.)\n");
-    return 0;
+    return m.exitSummary();
 }

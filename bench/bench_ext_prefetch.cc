@@ -52,14 +52,17 @@ main()
     }
     m.run();
 
+    auto fmtSpd = [](const RunOutcome &n, const RunOutcome &o) {
+        return TextTable::fmt(speedup(n, o), 3);
+    };
     for (const std::string &name : suite.names()) {
         std::vector<std::string> row{name};
         for (size_t i = 0; i < 2; ++i) {
-            RunOutcome rn = m.next();
-            RunOutcome rp = m.next();
-            RunOutcome ro = m.next();
-            row.push_back(TextTable::fmt(speedup(rn, rp), 3));
-            row.push_back(TextTable::fmt(speedup(rn, ro), 3));
+            harness::CellOutcome rn = m.nextCell();
+            harness::CellOutcome rp = m.nextCell();
+            harness::CellOutcome ro = m.nextCell();
+            row.push_back(harness::fmtCells(rn, rp, fmtSpd));
+            row.push_back(harness::fmtCells(rn, ro, fmtSpd));
         }
         t.addRow(row);
     }
@@ -69,5 +72,5 @@ main()
                 "CodePack, the win was\nprefetching; where CodePack "
                 "stays ahead (narrow buses), compression's\nbandwidth "
                 "advantage is doing real work.\n");
-    return 0;
+    return m.exitSummary();
 }

@@ -44,16 +44,21 @@ main()
     }
     m.run();
 
+    auto fmtSpd = [](const RunOutcome &n, const RunOutcome &o) {
+        return TextTable::fmt(speedup(n, o), 3);
+    };
     for (const std::string &name : suite.names()) {
         std::vector<std::string> row{name};
         for (size_t i = 0; i < 3; ++i) {
-            RunOutcome rn = m.next();
-            RunOutcome ro = m.next();
-            row.push_back(TextTable::pct(rn.icacheMissRate));
-            row.push_back(TextTable::fmt(speedup(rn, ro), 3));
+            harness::CellOutcome rn = m.nextCell();
+            harness::CellOutcome ro = m.nextCell();
+            row.push_back(harness::fmtCell(rn, [](const RunOutcome &o) {
+                return TextTable::pct(o.icacheMissRate);
+            }));
+            row.push_back(harness::fmtCells(rn, ro, fmtSpd));
         }
         t.addRow(row);
     }
     t.print();
-    return 0;
+    return m.exitSummary();
 }

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Chaos campaign against the cpserved campaign daemon (extension;
+ * DESIGN.md "Service mode").
+ *
+ * Spawns a fresh daemon per scenario and attacks it: worker crashes /
+ * kills / hangs / garbled result frames, torn and garbage client
+ * frames, a slow-loris client, overload past the admission bound, an
+ * unwritable journal directory, kill -9 followed by a journal-resumed
+ * restart, a client that vanishes with work queued, and a SIGTERM
+ * drain mid-request. Prints one verdict row per scenario.
+ *
+ * Exit status: 0 when every scenario held its invariant (daemon never
+ * died unbidden, stayed responsive, shed load with structured
+ * OVERLOADED replies, lost no journaled work); 1 otherwise.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "common/table.hh"
+#include "fault/service_campaign.hh"
+
+using namespace cps;
+
+int
+main()
+{
+    fault::ServiceChaosConfig cfg;
+    cfg.insns = 20000;
+    cfg.scratchDir =
+        (std::filesystem::temp_directory_path() /
+         ("cps-service-chaos-" + std::to_string(::getpid())))
+            .string();
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.scratchDir, ec);
+    if (ec) {
+        std::fprintf(stderr, "cannot create scratch dir %s\n",
+                     cfg.scratchDir.c_str());
+        return 1;
+    }
+
+    std::printf("service chaos campaign: bench=go, %llu insns/cell, "
+                "scratch %s\n\n",
+                static_cast<unsigned long long>(cfg.insns),
+                cfg.scratchDir.c_str());
+
+    fault::ServiceChaosResult res = fault::runServiceCampaign(cfg);
+
+    TextTable t;
+    t.setTitle("Campaign daemon chaos suite (cpserved)");
+    t.addHeader({"Scenario", "verdict", "detail"});
+    for (const fault::ServiceChaosRecord &rec : res.records)
+        t.addRow({rec.name, rec.pass ? "ok" : "FAILED", rec.detail});
+    t.print();
+
+    std::filesystem::remove_all(cfg.scratchDir, ec);
+
+    if (!res.ok()) {
+        std::printf("\n%u of %zu chaos scenario(s) FAILED\n",
+                    res.failures, res.records.size());
+        return 1;
+    }
+    std::printf("\nall %zu scenarios held; daemon never died unbidden\n",
+                res.records.size());
+    return 0;
+}

@@ -294,7 +294,7 @@ main()
     std::fprintf(
         f,
         "{\n"
-        "  \"schema\": 3,\n"
+        "  \"schema\": 4,\n"
         "  \"pregen\": {\n"
         "    \"cold_seconds\": %.4f,\n"
         "    \"warm_seconds\": %.4f,\n"
@@ -341,6 +341,6 @@ main()
         workers, serial_s / (parallel_s > 0 ? parallel_s : 1.0),
         matrix_live_s, matrix_replay_s, replay_speedup);
     std::fclose(f);
-    std::printf("\nWrote BENCH_simperf.json (schema 3).\n");
+    std::printf("\nWrote BENCH_simperf.json (schema 4).\n");
     return 0;
 }

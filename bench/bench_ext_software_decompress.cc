@@ -49,15 +49,18 @@ main()
     }
     m.run();
 
+    auto fmtSpd = [](const RunOutcome &n, const RunOutcome &o) {
+        return TextTable::fmt(speedup(n, o), 3);
+    };
     for (const std::string &name : suite.names()) {
-        RunOutcome native = m.next();
-        RunOutcome hw_base = m.next();
-        RunOutcome hw_opt = m.next();
+        harness::CellOutcome native = m.nextCell();
+        harness::CellOutcome hw_base = m.nextCell();
+        harness::CellOutcome hw_opt = m.nextCell();
         std::vector<std::string> row{
-            name, TextTable::fmt(speedup(native, hw_base), 3),
-            TextTable::fmt(speedup(native, hw_opt), 3)};
+            name, harness::fmtCells(native, hw_base, fmtSpd),
+            harness::fmtCells(native, hw_opt, fmtSpd)};
         for (size_t i = 0; i < 3; ++i)
-            row.push_back(TextTable::fmt(speedup(native, m.next()), 3));
+            row.push_back(harness::fmtCells(native, m.nextCell(), fmtSpd));
         t.addRow(row);
     }
     t.print();
@@ -66,5 +69,5 @@ main()
                 "where the paper\nsuggests (low-miss-rate embedded "
                 "codes); on the miss-heavy benchmarks the\nhandler "
                 "overhead multiplies every miss.\n");
-    return 0;
+    return m.exitSummary();
 }

@@ -47,15 +47,18 @@ main()
     }
     m.run();
 
+    auto fmtSpd = [](const RunOutcome &n, const RunOutcome &o) {
+        return TextTable::fmt(speedup(n, o), 3);
+    };
     for (const std::string &name : suite.names()) {
-        RunOutcome native = m.next();
-        RunOutcome base = m.next();
-        RunOutcome idx = m.next();
-        RunOutcome perf = m.next();
-        t.addRow({name, TextTable::fmt(speedup(native, base), 3),
-                  TextTable::fmt(speedup(native, idx), 3),
-                  TextTable::fmt(speedup(native, perf), 3)});
+        harness::CellOutcome native = m.nextCell();
+        harness::CellOutcome base = m.nextCell();
+        harness::CellOutcome idx = m.nextCell();
+        harness::CellOutcome perf = m.nextCell();
+        t.addRow({name, harness::fmtCells(native, base, fmtSpd),
+                  harness::fmtCells(native, idx, fmtSpd),
+                  harness::fmtCells(native, perf, fmtSpd)});
     }
     t.print();
-    return 0;
+    return m.exitSummary();
 }

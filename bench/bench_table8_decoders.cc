@@ -39,13 +39,16 @@ main()
     }
     m.run();
 
+    auto fmtSpd = [](const RunOutcome &n, const RunOutcome &o) {
+        return TextTable::fmt(speedup(n, o), 3);
+    };
     for (const std::string &name : suite.names()) {
-        RunOutcome native = m.next();
+        harness::CellOutcome native = m.nextCell();
         std::vector<std::string> row{name};
         for (size_t i = 0; i < 3; ++i)
-            row.push_back(TextTable::fmt(speedup(native, m.next()), 3));
+            row.push_back(harness::fmtCells(native, m.nextCell(), fmtSpd));
         t.addRow(row);
     }
     t.print();
-    return 0;
+    return m.exitSummary();
 }

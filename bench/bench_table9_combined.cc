@@ -49,17 +49,20 @@ main()
     }
     m.run();
 
+    auto fmtSpd = [](const RunOutcome &n, const RunOutcome &o) {
+        return TextTable::fmt(speedup(n, o), 3);
+    };
     for (const std::string &name : suite.names()) {
-        RunOutcome native = m.next();
-        RunOutcome base = m.next();
-        RunOutcome idx = m.next();
-        RunOutcome dec = m.next();
-        RunOutcome all = m.next();
-        t.addRow({name, TextTable::fmt(speedup(native, base), 3),
-                  TextTable::fmt(speedup(native, idx), 3),
-                  TextTable::fmt(speedup(native, dec), 3),
-                  TextTable::fmt(speedup(native, all), 3)});
+        harness::CellOutcome native = m.nextCell();
+        harness::CellOutcome base = m.nextCell();
+        harness::CellOutcome idx = m.nextCell();
+        harness::CellOutcome dec = m.nextCell();
+        harness::CellOutcome all = m.nextCell();
+        t.addRow({name, harness::fmtCells(native, base, fmtSpd),
+                  harness::fmtCells(native, idx, fmtSpd),
+                  harness::fmtCells(native, dec, fmtSpd),
+                  harness::fmtCells(native, all, fmtSpd)});
     }
     t.print();
-    return 0;
+    return m.exitSummary();
 }

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * cpserved: the campaign daemon.
+ *
+ * Serves experiment-matrix requests over a Unix-domain socket (see
+ * service/server.hh for the full robustness story). Configuration is
+ * entirely environment-driven:
+ *
+ *   CPS_SERVE_SOCKET       socket path        (default cpserved.sock)
+ *   CPS_SERVE_WORKERS      worker threads     (default 2)
+ *   CPS_SERVE_QUEUE_MAX    admission bound    (default 256 cells)
+ *   CPS_SERVE_DEADLINE_MS  request deadline   (default/cap 120000)
+ *
+ * plus the usual harness knobs (CPS_ISOLATE, CPS_RESUME, CPS_CACHE_DIR,
+ * CPS_CELL_TIMEOUT_MS, ...) which govern how cells actually execute.
+ *
+ * Signals: the first SIGTERM/SIGINT begins a graceful drain (finish
+ * admitted work, refuse new work, exit); a second one cancels queued
+ * work and exits as soon as running cells finish. kill -9 is also fine:
+ * the daemon is crash-only, and a restart resumes from the journals.
+ */
+
+#include <csignal>
+#include <cstdio>
+
+#include "service/server.hh"
+
+using namespace cps;
+using namespace cps::service;
+
+namespace
+{
+
+CampaignServer *gServer = nullptr;
+volatile sig_atomic_t gSignals = 0;
+
+void
+onTerm(int)
+{
+    if (!gServer)
+        return;
+    if (++gSignals == 1)
+        gServer->requestDrain();
+    else
+        gServer->requestStop();
+}
+
+} // namespace
+
+int
+main()
+{
+    ServiceConfig cfg = ServiceConfig::fromEnv();
+    CampaignServer server(cfg);
+    gServer = &server;
+
+    struct sigaction sa = {};
+    sa.sa_handler = onTerm;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "cpserved: %s\n", err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "cpserved: listening on %s (workers=%u queueMax=%u "
+                 "deadlineMs=%llu isolate=%d resume=%d)\n",
+                 cfg.socketPath.c_str(), cfg.workers, cfg.queueMax,
+                 (unsigned long long)cfg.deadlineMs,
+                 cfg.runner.isolate ? 1 : 0, cfg.resume ? 1 : 0);
+    server.serve();
+
+    const ServiceStats &st = server.stats();
+    std::fprintf(stderr,
+                 "cpserved: drained. requests=%llu (rejected=%llu) "
+                 "cells: executed=%llu shared=%llu memo=%llu "
+                 "journal=%llu failed=%llu cancelled=%llu\n",
+                 (unsigned long long)st.requestsAdmitted,
+                 (unsigned long long)st.requestsRejected,
+                 (unsigned long long)st.cellsExecuted,
+                 (unsigned long long)st.cellsShared,
+                 (unsigned long long)st.cellsFromMemo,
+                 (unsigned long long)st.cellsFromJournal,
+                 (unsigned long long)st.cellsFailed,
+                 (unsigned long long)st.cellsCancelled);
+    return 0;
+}

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "byteio.hh"
@@ -141,12 +142,24 @@ bool
 writeFrame(int fd, u32 type, const std::vector<u8> &payload)
 {
     std::vector<u8> bytes = encodeFrame(type, payload);
+    // Prefer send(MSG_NOSIGNAL): on a socket whose peer is gone this
+    // fails with EPIPE instead of raising SIGPIPE. Pipes reject send()
+    // with ENOTSOCK, so fall back to write(2) for them once.
+    bool use_send = true;
     size_t sent = 0;
     while (sent < bytes.size()) {
-        ssize_t w = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+        ssize_t w =
+            use_send ? ::send(fd, bytes.data() + sent,
+                              bytes.size() - sent, MSG_NOSIGNAL)
+                     : ::write(fd, bytes.data() + sent,
+                               bytes.size() - sent);
         if (w < 0) {
             if (errno == EINTR)
                 continue;
+            if (use_send && errno == ENOTSOCK) {
+                use_send = false;
+                continue;
+            }
             return false;
         }
         sent += static_cast<size_t>(w);
@@ -154,8 +167,42 @@ writeFrame(int fd, u32 type, const std::vector<u8> &payload)
     return true;
 }
 
+FrameGather
+gatherFrame(const std::vector<u8> &buffer, size_t &pos, IpcFrame &out,
+            size_t max_payload)
+{
+    const size_t have = buffer.size() - pos;
+    if (have == 0)
+        return FrameGather::NeedMore;
+    // Validate the magic as soon as any of it is visible: garbage is
+    // rejected immediately instead of after max_payload bytes of it.
+    size_t magic_seen = have < sizeof(kMagic) ? have : sizeof(kMagic);
+    if (std::memcmp(buffer.data() + pos, kMagic, magic_seen) != 0)
+        return FrameGather::Damaged;
+    if (have < kHeaderBytes)
+        return FrameGather::NeedMore;
+    const u8 *hdr = buffer.data() + pos;
+    u32 len = static_cast<u32>(hdr[8]) | (static_cast<u32>(hdr[9]) << 8) |
+              (static_cast<u32>(hdr[10]) << 16) |
+              (static_cast<u32>(hdr[11]) << 24);
+    if (size_t{len} > max_payload)
+        return FrameGather::Damaged;
+    size_t total = kHeaderBytes + size_t{len} + kTrailerBytes;
+    if (have < total)
+        return FrameGather::NeedMore;
+    size_t scan = pos;
+    switch (decodeFrameAt(buffer, scan, out)) {
+      case FrameReadStatus::Ok:
+        pos = scan;
+        return FrameGather::Frame;
+      default:
+        // The full frame is present but failed verification.
+        return FrameGather::Damaged;
+    }
+}
+
 FrameReadStatus
-readFrame(int fd, IpcFrame &out, long timeout_ms)
+readFrame(int fd, IpcFrame &out, long timeout_ms, size_t max_payload)
 {
     const bool have_deadline = timeout_ms >= 0;
     const auto deadline = std::chrono::steady_clock::now() +
@@ -181,10 +228,9 @@ readFrame(int fd, IpcFrame &out, long timeout_ms)
               (static_cast<u32>(header[9]) << 8) |
               (static_cast<u32>(header[10]) << 16) |
               (static_cast<u32>(header[11]) << 24);
-    // A pipe peer is in the same trust domain as a cache file: bound the
-    // allocation before believing the declared length (64 MiB is far
-    // beyond any legitimate result envelope).
-    if (len > (64u << 20))
+    // A pipe peer is in the same trust domain as a cache file: bound
+    // the allocation before believing the declared length.
+    if (size_t{len} > max_payload)
         return FrameReadStatus::Torn;
 
     std::vector<u8> body(size_t{len} + kTrailerBytes);

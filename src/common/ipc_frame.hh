@@ -44,6 +44,15 @@ struct IpcFrame
 /** Serializes one frame (magic, type, length, payload, CRC). */
 std::vector<u8> encodeFrame(u32 type, const std::vector<u8> &payload);
 
+/**
+ * Default upper bound on a frame's declared payload length. A peer is
+ * in the same trust domain as a cache file: the declared length must
+ * be bounded before it is believed. Callers with a known message
+ * economy (a result envelope, a matrix request) pass a far tighter
+ * bound to readFrame()/gatherFrame().
+ */
+constexpr size_t kMaxFramePayload = 64u << 20;
+
 /** How a stream read ended. */
 enum class FrameReadStatus
 {
@@ -67,7 +76,10 @@ FrameReadStatus decodeFrameAt(const std::vector<u8> &bytes, size_t &pos,
                               IpcFrame &out);
 
 /**
- * Writes one frame to @p fd, retrying short writes and EINTR.
+ * Writes one frame to @p fd, retrying short writes and EINTR. Socket
+ * fds are written with MSG_NOSIGNAL so a disconnected peer surfaces as
+ * a clean failure; pipe writers additionally call ignoreSigpipe()
+ * (common/socket.hh) so EPIPE never arrives as a signal there either.
  * @return false on any unrecoverable write error (EPIPE included)
  */
 bool writeFrame(int fd, u32 type, const std::vector<u8> &payload);
@@ -76,9 +88,31 @@ bool writeFrame(int fd, u32 type, const std::vector<u8> &payload);
  * Reads one frame from @p fd, blocking up to @p timeout_ms
  * (negative = no deadline). On Timeout/Torn/IoError the stream
  * position is unspecified — the caller is expected to give up on the
- * peer, not resynchronize.
+ * peer, not resynchronize. A frame declaring a payload larger than
+ * @p max_payload is classified Torn without being read.
  */
-FrameReadStatus readFrame(int fd, IpcFrame &out, long timeout_ms);
+FrameReadStatus readFrame(int fd, IpcFrame &out, long timeout_ms,
+                          size_t max_payload = kMaxFramePayload);
+
+/** Incremental decode over a growing receive buffer. */
+enum class FrameGather
+{
+    Frame,    ///< a complete, CRC-verified frame was extracted
+    NeedMore, ///< the buffer ends inside a plausible frame — keep reading
+    Damaged,  ///< bad magic, oversized length, or CRC mismatch: give up
+};
+
+/**
+ * Attempts to extract one frame from @p buffer starting at @p pos.
+ * Unlike decodeFrameAt (whole-stream decode, where a short tail means
+ * a dead writer), this distinguishes "not arrived yet" from
+ * "verifiably damaged", which is what a nonblocking server loop
+ * accumulating bytes from a live — possibly slow, possibly hostile —
+ * client needs. On Frame, @p pos advances past the frame.
+ */
+FrameGather gatherFrame(const std::vector<u8> &buffer, size_t &pos,
+                        IpcFrame &out,
+                        size_t max_payload = kMaxFramePayload);
 
 } // namespace cps
 

@@ -1,0 +1,178 @@
+#include "socket.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+#include "logging.hh"
+
+namespace cps
+{
+
+void
+ignoreSigpipe()
+{
+    // Plain signal(2), not sigaction bookkeeping: SIG_IGN is inherited
+    // across fork and is exactly what every caller wants. Idempotent.
+    static const bool installed = [] {
+        ::signal(SIGPIPE, SIG_IGN);
+        return true;
+    }();
+    (void)installed;
+}
+
+namespace
+{
+
+/** Fills a sockaddr_un; false when @p path exceeds sun_path. */
+bool
+fillAddr(const std::string &path, sockaddr_un *addr)
+{
+    if (path.empty() || path.size() >= sizeof(addr->sun_path))
+        return false;
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, int backlog, std::string *err)
+{
+    sockaddr_un addr;
+    if (!fillAddr(path, &addr)) {
+        if (err)
+            *err = strfmt("socket path '%s' empty or too long",
+                          path.c_str());
+        return -1;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        if (err)
+            *err = strfmt("socket: %s", std::strerror(errno));
+        return -1;
+    }
+    // A daemon killed without cleanup leaves its socket file behind;
+    // binding over it needs the unlink. A *live* daemon also loses its
+    // socket this way — single-instance locking is the operator's job.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        if (err)
+            *err = strfmt("bind %s: %s", path.c_str(),
+                          std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, backlog) != 0) {
+        if (err)
+            *err = strfmt("listen %s: %s", path.c_str(),
+                          std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, long timeout_ms)
+{
+    sockaddr_un addr;
+    if (!fillAddr(path, &addr))
+        return -1;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0)
+            return -1;
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
+        int e = errno;
+        ::close(fd);
+        if (e != ENOENT && e != ECONNREFUSED && e != EINTR)
+            return -1;
+        if (std::chrono::steady_clock::now() >= deadline)
+            return -1;
+        // The daemon may still be binding; back off briefly and retry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+int
+acceptConnection(int listen_fd)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+bool
+setNonBlocking(int fd, bool nonblocking)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    if (nonblocking)
+        flags |= O_NONBLOCK;
+    else
+        flags &= ~O_NONBLOCK;
+    return ::fcntl(fd, F_SETFL, flags) == 0;
+}
+
+WakeupPipe::WakeupPipe()
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return;
+    readFd_ = fds[0];
+    writeFd_ = fds[1];
+    setNonBlocking(readFd_, true);
+    // A full pipe must not block the notifier (or a signal handler):
+    // the byte that would not fit is a wakeup someone already got.
+    setNonBlocking(writeFd_, true);
+}
+
+WakeupPipe::~WakeupPipe()
+{
+    if (readFd_ >= 0)
+        ::close(readFd_);
+    if (writeFd_ >= 0)
+        ::close(writeFd_);
+}
+
+void
+WakeupPipe::notify() const
+{
+    if (writeFd_ < 0)
+        return;
+    u_char byte = 0;
+    // Only async-signal-safe calls here; EAGAIN means "already woken".
+    [[maybe_unused]] ssize_t w = ::write(writeFd_, &byte, 1);
+}
+
+void
+WakeupPipe::drain() const
+{
+    if (readFd_ < 0)
+        return;
+    u_char buf[64];
+    while (::read(readFd_, buf, sizeof(buf)) > 0) {
+    }
+}
+
+} // namespace cps

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unix-domain socket and event-loop helpers for the campaign service.
+ *
+ * The daemon (service/server) and its clients speak the CRC-framed
+ * ipc_frame protocol over SOCK_STREAM Unix sockets. These helpers keep
+ * the raw fd plumbing — stale-socket cleanup, nonblocking mode, the
+ * self-pipe trick for signal-safe wakeups — in one place so the server
+ * loop reads as scheduling logic, not syscall boilerplate.
+ *
+ * Every function is EINTR-safe and reports failure by return value;
+ * none of them throws or aborts. SIGPIPE is the one piece of global
+ * state touched (see ignoreSigpipe): a peer that disconnects mid-write
+ * must surface as a write error, never as a process-killing signal.
+ */
+
+#ifndef CPS_COMMON_SOCKET_HH
+#define CPS_COMMON_SOCKET_HH
+
+#include <string>
+
+namespace cps
+{
+
+/**
+ * Idempotently sets SIGPIPE to SIG_IGN process-wide so a disconnected
+ * peer turns writeFrame() into a clean failure (EPIPE) instead of a
+ * fatal signal. Called by the daemon, clients, and forked cell workers
+ * before their first socket/pipe write.
+ */
+void ignoreSigpipe();
+
+/**
+ * Creates, binds and listens on a Unix-domain stream socket at @p path,
+ * removing any stale socket file a killed daemon left behind.
+ * @return listening fd, or -1 (with @p err filled) on failure
+ */
+int listenUnix(const std::string &path, int backlog, std::string *err);
+
+/**
+ * Connects to the Unix-domain socket at @p path, retrying (10 ms
+ * apart) until @p timeout_ms elapses — a client racing a daemon that
+ * is still binding its socket should wait, not fail.
+ * @return connected fd, or -1 on timeout/failure
+ */
+int connectUnix(const std::string &path, long timeout_ms);
+
+/** Accepts one pending connection; -1 when none/failed (EINTR-safe). */
+int acceptConnection(int listen_fd);
+
+/** Switches @p fd between blocking and nonblocking mode. */
+bool setNonBlocking(int fd, bool nonblocking);
+
+/**
+ * A pipe whose write end is safe to use from a signal handler: the
+ * canonical self-pipe wakeup for a poll(2) loop. Writes never block
+ * (the write end is nonblocking; a full pipe is already a wakeup).
+ */
+class WakeupPipe
+{
+  public:
+    WakeupPipe();
+    ~WakeupPipe();
+    WakeupPipe(const WakeupPipe &) = delete;
+    WakeupPipe &operator=(const WakeupPipe &) = delete;
+
+    bool valid() const { return readFd_ >= 0; }
+    int readFd() const { return readFd_; }
+    int writeFd() const { return writeFd_; }
+
+    /** Async-signal-safe: one byte into the pipe (best-effort). */
+    void notify() const;
+
+    /** Drains every pending byte (nonblocking). */
+    void drain() const;
+
+  private:
+    int readFd_ = -1;
+    int writeFd_ = -1;
+};
+
+} // namespace cps
+
+#endif // CPS_COMMON_SOCKET_HH

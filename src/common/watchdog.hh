@@ -47,7 +47,12 @@ class ProgressWatchdog
         if (++iter_ < interval_)
             return false;
         iter_ = 0;
-        if (progress != lastProgress_) {
+        // An explicit first-check flag, not a sentinel value: every
+        // u64 is a legal counter reading (a counter that wraps, or one
+        // that happens to start at ~0, must behave like any other), so
+        // no in-band value can mean "no previous reading".
+        if (first_ || progress != lastProgress_) {
+            first_ = false;
             lastProgress_ = progress;
             stalledChecks_ = 0;
             return false;
@@ -62,7 +67,8 @@ class ProgressWatchdog
     u64 interval_;
     unsigned stallLimit_;
     u64 iter_ = 0;
-    u64 lastProgress_ = ~u64{0}; // first check always counts as progress
+    bool first_ = true; // first check always counts as progress
+    u64 lastProgress_ = 0;
     unsigned stalledChecks_ = 0;
 };
 

@@ -1,0 +1,519 @@
+#include "service_campaign.hh"
+
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/socket.hh"
+#include "harness/suite.hh"
+#include "service/client.hh"
+#include "service/daemon_harness.hh"
+
+namespace cps
+{
+namespace fault
+{
+
+namespace
+{
+
+using service::CellResultMsg;
+using service::CellSpec;
+using service::DaemonProcess;
+using service::MatrixReply;
+using service::MatrixRequestMsg;
+using service::ResultSource;
+using service::ServiceClient;
+using service::ServiceConfig;
+
+/** Baseline daemon policy for a scenario; tweak per scenario. */
+ServiceConfig
+baseDaemon(const ServiceChaosConfig &cfg, const std::string &name)
+{
+    ServiceConfig c;
+    c.socketPath = cfg.scratchDir + "/" + name + ".sock";
+    c.workers = 2;
+    c.queueMax = 64;
+    c.deadlineMs = 60000;
+    c.stallMs = 30000;
+    c.allowFaultInjection = true;
+    c.runner.isolate = true;
+    c.runner.timeoutMs = 5000;
+    c.runner.retries = 0;
+    c.runner.backoffMs = 10;
+    c.resume = false;
+    return c;
+}
+
+CellSpec
+makeSpec(u64 insns, harness::CellFault fault = harness::CellFault::None)
+{
+    CellSpec spec;
+    spec.bench = "go";
+    spec.base = service::BaseMachine::Issue4;
+    spec.codeModel = static_cast<u8>(CodeModel::CodePack);
+    spec.maxInsns = insns;
+    spec.injectFault = static_cast<u8>(fault);
+    return spec;
+}
+
+/** Health probe on a fresh connection. */
+bool
+daemonAlive(const std::string &socket_path)
+{
+    ServiceClient probe;
+    return probe.connect(socket_path, 2000) && probe.ping(5000);
+}
+
+/** Extracts one "key=value" integer from the daemon's stats text. */
+long
+statValue(const std::string &stats, const std::string &key)
+{
+    size_t pos = stats.find(key + "=");
+    if (pos == std::string::npos)
+        return -1;
+    return std::atol(stats.c_str() + pos + key.size() + 1);
+}
+
+ServiceChaosRecord
+record(const std::string &name, bool pass, std::string detail)
+{
+    ServiceChaosRecord r;
+    r.name = name;
+    r.pass = pass;
+    r.detail = std::move(detail);
+    return r;
+}
+
+// ---------------------------------------------------------------
+// Scenario: a worker misbehaves mid-cell; the daemon contains it.
+// ---------------------------------------------------------------
+ServiceChaosRecord
+workerFaultScenario(const ServiceChaosConfig &cfg, const std::string &name,
+                    harness::CellFault fault,
+                    harness::CellState expected, long cell_timeout_ms)
+{
+    ServiceConfig dc = baseDaemon(cfg, name);
+    dc.runner.timeoutMs = cell_timeout_ms;
+    DaemonProcess daemon = service::spawnDaemon(dc);
+    if (!daemon.running())
+        return record(name, false, "daemon failed to spawn");
+
+    MatrixRequestMsg msg;
+    msg.requestId = 1;
+    msg.cells = {makeSpec(cfg.insns + 1), makeSpec(cfg.insns + 2, fault),
+                 makeSpec(cfg.insns + 3)};
+
+    ServiceClient client;
+    if (!client.connect(dc.socketPath, 2000))
+        return record(name, false, "connect failed");
+    MatrixReply reply = client.runMatrix(msg, 30000);
+
+    std::string detail;
+    bool pass = true;
+    if (!reply.ended) {
+        pass = false;
+        detail = "stream did not end: " + reply.error;
+    } else if (reply.end.okCells != 2 || reply.end.failedCells != 1) {
+        pass = false;
+        detail = strfmt("ok=%u failed=%u (want 2/1)", reply.end.okCells,
+                        reply.end.failedCells);
+    } else {
+        for (const CellResultMsg &cell : reply.cells)
+            if (cell.cellIndex == 1 && cell.status.state != expected) {
+                pass = false;
+                detail = strfmt(
+                    "faulted cell classified %s (want %s)",
+                    harness::cellStateName(cell.status.state),
+                    harness::cellStateName(expected));
+            }
+    }
+    if (pass && !daemonAlive(dc.socketPath)) {
+        pass = false;
+        detail = "daemon unresponsive after fault";
+    }
+    if (pass)
+        detail = strfmt("contained as %s; daemon alive",
+                        harness::cellStateName(expected));
+    return record(name, pass, detail);
+}
+
+// ---------------------------------------------------------------
+// Scenario: client tears a frame / sends garbage; daemon shrugs.
+// ---------------------------------------------------------------
+ServiceChaosRecord
+brokenClientScenario(const ServiceChaosConfig &cfg,
+                     const std::string &name, bool garbage)
+{
+    ServiceConfig dc = baseDaemon(cfg, name);
+    DaemonProcess daemon = service::spawnDaemon(dc);
+    if (!daemon.running())
+        return record(name, false, "daemon failed to spawn");
+
+    int fd = connectUnix(dc.socketPath, 2000);
+    if (fd < 0)
+        return record(name, false, "connect failed");
+    if (garbage) {
+        u8 junk[64];
+        std::memset(junk, 0xA5, sizeof(junk));
+        (void)!::write(fd, junk, sizeof(junk));
+    } else {
+        MatrixRequestMsg msg;
+        msg.requestId = 7;
+        msg.cells = {makeSpec(cfg.insns)};
+        std::vector<u8> bytes = encodeFrame(
+            service::kMsgMatrixRequest, encodeMatrixRequest(msg));
+        (void)!::write(fd, bytes.data(), bytes.size() / 2); // torn
+    }
+    ::close(fd);
+    ::usleep(100 * 1000); // let the daemon reap the wreck
+
+    if (!daemonAlive(dc.socketPath))
+        return record(name, false, "daemon unresponsive");
+    return record(name, true, "client dropped; daemon alive");
+}
+
+// ---------------------------------------------------------------
+// Scenario: slow-loris client trickling a frame one byte at a time.
+// ---------------------------------------------------------------
+ServiceChaosRecord
+slowLorisScenario(const ServiceChaosConfig &cfg)
+{
+    const std::string name = "slow-loris client";
+    ServiceConfig dc = baseDaemon(cfg, "loris");
+    dc.stallMs = 150; // tight: the whole point is a fast cutoff
+    DaemonProcess daemon = service::spawnDaemon(dc);
+    if (!daemon.running())
+        return record(name, false, "daemon failed to spawn");
+
+    int fd = connectUnix(dc.socketPath, 2000);
+    if (fd < 0)
+        return record(name, false, "connect failed");
+    MatrixRequestMsg msg;
+    msg.requestId = 9;
+    msg.cells = {makeSpec(cfg.insns)};
+    std::vector<u8> bytes =
+        encodeFrame(service::kMsgMatrixRequest, encodeMatrixRequest(msg));
+
+    // One byte every 30 ms: a legitimate frame, hostile pacing. The
+    // daemon must cut us off rather than hold a connection slot (and a
+    // parse buffer) forever.
+    bool disconnected = false;
+    for (size_t i = 0; i < bytes.size() && !disconnected; ++i) {
+        if (::write(fd, bytes.data() + i, 1) < 0) {
+            disconnected = true;
+            break;
+        }
+        struct pollfd p = {fd, POLLIN, 0};
+        if (::poll(&p, 1, 30) > 0) {
+            u8 buf[16];
+            if (::recv(fd, buf, sizeof(buf), 0) == 0)
+                disconnected = true;
+        }
+    }
+    if (!disconnected) {
+        // Writes can outlive the drop (socket buffers); the EOF is
+        // authoritative.
+        struct pollfd p = {fd, POLLIN, 0};
+        if (::poll(&p, 1, 2000) > 0) {
+            u8 buf[16];
+            disconnected = ::recv(fd, buf, sizeof(buf), 0) == 0;
+        }
+    }
+    ::close(fd);
+
+    if (!disconnected)
+        return record(name, false, "daemon never dropped the loris");
+    if (!daemonAlive(dc.socketPath))
+        return record(name, false, "daemon unresponsive");
+    return record(name, true, "loris cut off; daemon alive");
+}
+
+// ---------------------------------------------------------------
+// Scenario: overload past the admission bound -> structured shed.
+// ---------------------------------------------------------------
+ServiceChaosRecord
+overloadScenario(const ServiceChaosConfig &cfg)
+{
+    const std::string name = "overload (admission control)";
+    ServiceConfig dc = baseDaemon(cfg, "overload");
+    dc.workers = 1;
+    dc.queueMax = 4; // the plug below fills it exactly
+    dc.runner.timeoutMs = 800; // hangs convert to timeouts quickly
+    DaemonProcess daemon = service::spawnDaemon(dc);
+    if (!daemon.running())
+        return record(name, false, "daemon failed to spawn");
+
+    // Fill the queue with hanging cells...
+    MatrixRequestMsg plug;
+    plug.requestId = 11;
+    for (u64 k = 0; k < 4; ++k)
+        plug.cells.push_back(
+            makeSpec(cfg.insns + 10 + k, harness::CellFault::Hang));
+    ServiceClient filler;
+    if (!filler.connect(dc.socketPath, 2000) ||
+        !filler.sendRequest(plug))
+        return record(name, false, "filler connect/send failed");
+    ::usleep(150 * 1000); // let the daemon admit and enqueue
+
+    // ...then ask for more: must be shed, not queued.
+    MatrixRequestMsg extra;
+    extra.requestId = 12;
+    extra.cells = {makeSpec(cfg.insns + 20)};
+    ServiceClient victim;
+    if (!victim.connect(dc.socketPath, 2000))
+        return record(name, false, "victim connect failed");
+    MatrixReply shed = victim.runMatrix(extra, 10000);
+    if (!shed.overloaded)
+        return record(name, false,
+                      "expected OVERLOADED, got " +
+                          (shed.error.empty() ? "a result stream"
+                                              : shed.error));
+    if (shed.overload.queueMax != dc.queueMax ||
+        shed.overload.reason.empty())
+        return record(name, false, "overload reply not structured");
+
+    // The plugging request must still complete (as timeouts), and the
+    // daemon must survive all of it.
+    MatrixReply plugged = filler.collect(plug.requestId, 30000);
+    if (!plugged.ended || plugged.end.failedCells != 4)
+        return record(name, false,
+                      strfmt("plug request: ended=%d failed=%u",
+                             plugged.ended ? 1 : 0,
+                             plugged.ended ? plugged.end.failedCells
+                                           : 0));
+    if (!daemonAlive(dc.socketPath))
+        return record(name, false, "daemon unresponsive");
+    return record(name, true,
+                  strfmt("shed with reason \"%s\"; plug drained as "
+                         "timeouts",
+                         shed.overload.reason.c_str()));
+}
+
+// ---------------------------------------------------------------
+// Scenario: journal directory is unwritable (disk-full stand-in).
+// ---------------------------------------------------------------
+ServiceChaosRecord
+diskFullScenario(const ServiceChaosConfig &cfg)
+{
+    const std::string name = "unwritable journal dir";
+    // A regular file where the cache directory should be: every
+    // create_directories/open under it fails, exactly like ENOSPC
+    // without needing a full disk.
+    std::string blocker = cfg.scratchDir + "/cache-blocker";
+    { std::ofstream(blocker) << "not a directory"; }
+
+    ServiceConfig dc = baseDaemon(cfg, "diskfull");
+    dc.resume = true;
+    dc.cacheDir = blocker;
+    DaemonProcess daemon = service::spawnDaemon(dc);
+    if (!daemon.running())
+        return record(name, false, "daemon failed to spawn");
+
+    MatrixRequestMsg msg;
+    msg.requestId = 13;
+    msg.cells = {makeSpec(cfg.insns + 30), makeSpec(cfg.insns + 31)};
+    ServiceClient client;
+    if (!client.connect(dc.socketPath, 2000))
+        return record(name, false, "connect failed");
+    MatrixReply reply = client.runMatrix(msg, 30000);
+    if (!reply.allOk())
+        return record(name, false,
+                      "request failed under unwritable journal: " +
+                          reply.error);
+    if (!daemonAlive(dc.socketPath))
+        return record(name, false, "daemon unresponsive");
+    return record(name, true, "journaling degraded silently; results ok");
+}
+
+// ---------------------------------------------------------------
+// Scenario: kill -9 mid-matrix, restart, resume from the journal.
+// ---------------------------------------------------------------
+ServiceChaosRecord
+killRestartScenario(const ServiceChaosConfig &cfg)
+{
+    const std::string name = "kill -9 + journaled restart";
+    std::string cache = cfg.scratchDir + "/kr-cache";
+
+    ServiceConfig dc = baseDaemon(cfg, "killrestart");
+    dc.workers = 1; // deterministic: exactly N cells journal before death
+    dc.resume = true;
+    dc.cacheDir = cache;
+    dc.exitAfterCells = 2; // the "kill": _exit(42) after 2 completions
+    DaemonProcess first = service::spawnDaemon(dc);
+    if (!first.running())
+        return record(name, false, "daemon failed to spawn");
+
+    MatrixRequestMsg msg;
+    msg.requestId = 17;
+    for (u64 k = 0; k < 4; ++k)
+        msg.cells.push_back(makeSpec(cfg.insns + 40 + k));
+
+    ServiceClient client;
+    if (!client.connect(dc.socketPath, 2000))
+        return record(name, false, "connect failed");
+    MatrixReply cut = client.runMatrix(msg, 30000);
+    if (cut.error.empty())
+        return record(name, false, "stream survived the kill?");
+    int code = first.wait(30000);
+    if (code != 42)
+        return record(name, false,
+                      strfmt("first daemon exited %d (want 42)", code));
+
+    // Restart on the same socket and journal dir; nothing completed
+    // may be recomputed.
+    dc.exitAfterCells = -1;
+    DaemonProcess second = service::spawnDaemon(dc);
+    if (!second.running())
+        return record(name, false, "restart failed to spawn");
+    ServiceClient retry;
+    if (!retry.connect(dc.socketPath, 2000))
+        return record(name, false, "reconnect failed");
+    MatrixReply reply = retry.runMatrix(msg, 60000);
+    if (!reply.allOk())
+        return record(name, false, "resumed request failed: " +
+                                       reply.error);
+    unsigned from_journal = 0;
+    for (const CellResultMsg &cell : reply.cells)
+        if (cell.source == ResultSource::Journal)
+            ++from_journal;
+    if (from_journal != 2)
+        return record(
+            name, false,
+            strfmt("%u cells from journal (want exactly 2)",
+                   from_journal));
+    return record(name, true,
+                  "2 cells replayed from journal, 2 executed; no "
+                  "completed work lost");
+}
+
+// ---------------------------------------------------------------
+// Scenario: client vanishes with work queued -> orphans cancelled.
+// ---------------------------------------------------------------
+ServiceChaosRecord
+disconnectScenario(const ServiceChaosConfig &cfg)
+{
+    const std::string name = "client disconnect cancels orphans";
+    ServiceConfig dc = baseDaemon(cfg, "disconnect");
+    dc.workers = 1;
+    dc.runner.timeoutMs = 800;
+    DaemonProcess daemon = service::spawnDaemon(dc);
+    if (!daemon.running())
+        return record(name, false, "daemon failed to spawn");
+
+    {
+        ServiceClient deserter;
+        if (!deserter.connect(dc.socketPath, 2000))
+            return record(name, false, "connect failed");
+        MatrixRequestMsg msg;
+        msg.requestId = 19;
+        for (u64 k = 0; k < 3; ++k)
+            msg.cells.push_back(
+                makeSpec(cfg.insns + 50 + k, harness::CellFault::Hang));
+        if (!deserter.sendRequest(msg))
+            return record(name, false, "send failed");
+        ::usleep(100 * 1000);
+        // Scope exit closes the socket with one cell running and two
+        // queued.
+    }
+    ::usleep(300 * 1000); // daemon notices the EOF, cancels the queue
+
+    ServiceClient observer;
+    if (!observer.connect(dc.socketPath, 2000))
+        return record(name, false, "reconnect failed");
+    std::string stats = observer.stats(5000);
+    long cancelled = statValue(stats, "cellsCancelled");
+    if (cancelled < 2)
+        return record(name, false,
+                      strfmt("cellsCancelled=%ld (want >= 2)",
+                             cancelled));
+    if (!observer.ping(5000))
+        return record(name, false, "daemon unresponsive");
+    return record(name, true,
+                  strfmt("orphans cancelled (%ld); daemon alive",
+                         cancelled));
+}
+
+// ---------------------------------------------------------------
+// Scenario: SIGTERM mid-request -> drain finishes admitted work.
+// ---------------------------------------------------------------
+ServiceChaosRecord
+drainScenario(const ServiceChaosConfig &cfg)
+{
+    const std::string name = "SIGTERM graceful drain";
+    ServiceConfig dc = baseDaemon(cfg, "drain");
+    DaemonProcess daemon = service::spawnDaemon(dc);
+    if (!daemon.running())
+        return record(name, false, "daemon failed to spawn");
+
+    MatrixRequestMsg msg;
+    msg.requestId = 23;
+    for (u64 k = 0; k < 3; ++k)
+        msg.cells.push_back(makeSpec(cfg.insns + 60 + k));
+    ServiceClient client;
+    if (!client.connect(dc.socketPath, 2000) ||
+        !client.sendRequest(msg))
+        return record(name, false, "connect/send failed");
+    ::usleep(150 * 1000); // admitted, cells executing
+    ::kill(daemon.pid(), SIGTERM);
+
+    MatrixReply reply = client.collect(msg.requestId, 30000);
+    if (!reply.allOk())
+        return record(name, false,
+                      "drain truncated admitted work: " + reply.error);
+    int code = daemon.wait(30000);
+    if (code != 0)
+        return record(name, false,
+                      strfmt("daemon exited %d (want 0)", code));
+    // Post-drain the socket must be gone: refuse-new-work is visible.
+    if (connectUnix(dc.socketPath, 200) >= 0)
+        return record(name, false, "socket still accepting after drain");
+    return record(name, true,
+                  "admitted cells finished, clean exit, socket removed");
+}
+
+} // namespace
+
+ServiceChaosResult
+runServiceCampaign(const ServiceChaosConfig &cfg)
+{
+    // Warm the benchmark before any fork: every daemon inherits the
+    // built program/image/trace instead of regenerating it.
+    Suite::instance().get("go");
+
+    ServiceChaosResult result;
+    auto add = [&result](ServiceChaosRecord rec) {
+        if (!rec.pass)
+            ++result.failures;
+        result.records.push_back(std::move(rec));
+    };
+
+    add(workerFaultScenario(cfg, "worker crash (abort)",
+                            harness::CellFault::Crash,
+                            harness::CellState::Crashed, 5000));
+    add(workerFaultScenario(cfg, "worker kill -9",
+                            harness::CellFault::KillSelf,
+                            harness::CellState::Crashed, 5000));
+    add(workerFaultScenario(cfg, "worker hang",
+                            harness::CellFault::Hang,
+                            harness::CellState::Timeout, 1000));
+    add(workerFaultScenario(cfg, "worker garbled frame",
+                            harness::CellFault::Garble,
+                            harness::CellState::ProtocolError, 5000));
+    add(brokenClientScenario(cfg, "torn client frame", false));
+    add(brokenClientScenario(cfg, "garbage client bytes", true));
+    add(slowLorisScenario(cfg));
+    add(overloadScenario(cfg));
+    add(diskFullScenario(cfg));
+    add(killRestartScenario(cfg));
+    add(disconnectScenario(cfg));
+    add(drainScenario(cfg));
+    return result;
+}
+
+} // namespace fault
+} // namespace cps

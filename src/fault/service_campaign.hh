@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Chaos campaign for the campaign daemon (cpserved).
+ *
+ * Where process_campaign.hh proves one CellRunner survives misbehaving
+ * workers, this campaign attacks the whole service: real forked
+ * daemons face crashing/hanging/garbling cell workers, clients that
+ * tear frames mid-write, trickle bytes (slow-loris), send garbage, or
+ * vanish with work in flight, a journal directory that cannot be
+ * written (disk-full stand-in), deliberate overload past the admission
+ * bound, a SIGTERM mid-request, and an outright kill -9 followed by a
+ * restart that must resume from the journal.
+ *
+ * Every scenario asserts the same invariants the daemon is built
+ * around: it never dies except when told to, stays responsive to a
+ * health probe throughout, sheds load with a structured OVERLOADED
+ * reply rather than queueing without bound, and loses no journaled
+ * work across kill -9.
+ */
+
+#ifndef CPS_FAULT_SERVICE_CAMPAIGN_HH
+#define CPS_FAULT_SERVICE_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cps
+{
+namespace fault
+{
+
+/** Campaign parameters. */
+struct ServiceChaosConfig
+{
+    u64 insns = 20000;      ///< per-cell instruction budget
+    std::string scratchDir; ///< sockets + journal dirs live here
+};
+
+/** One chaos scenario's verdict. */
+struct ServiceChaosRecord
+{
+    std::string name;
+    bool pass = false;
+    std::string detail; ///< what was observed (esp. on failure)
+};
+
+/** Aggregated campaign outcome. */
+struct ServiceChaosResult
+{
+    std::vector<ServiceChaosRecord> records;
+    unsigned failures = 0;
+
+    bool ok() const { return failures == 0; }
+};
+
+/**
+ * Runs every scenario. Forks one fresh daemon per scenario (via
+ * service::spawnDaemon) so a scenario can kill its daemon without
+ * disturbing the next. Requires fork(2) and a writable
+ * @p cfg.scratchDir.
+ */
+ServiceChaosResult runServiceCampaign(const ServiceChaosConfig &cfg);
+
+} // namespace fault
+} // namespace cps
+
+#endif // CPS_FAULT_SERVICE_CAMPAIGN_HH

@@ -15,6 +15,7 @@
 #include "common/byteio.hh"
 #include "common/ipc_frame.hh"
 #include "common/logging.hh"
+#include "common/socket.hh"
 
 namespace cps
 {
@@ -26,6 +27,9 @@ namespace
 
 /** Frame type of a worker's result envelope. */
 constexpr u32 kFrameResult = 1;
+
+/** Result envelopes are ~100 bytes; anything past this is garbage. */
+constexpr size_t kMaxResultPayload = 1u << 20;
 
 /** Envelope format version (bump on any field change). */
 constexpr u8 kEnvelopeVersion = 1;
@@ -47,6 +51,13 @@ std::mutex forkMutex;
  * deadline and misreports the crash as a timeout.
  */
 std::vector<int> liveResultPipes;
+
+/**
+ * Parent-process fds (listening sockets, client connections, event
+ * pipes) that every forked worker must close — see
+ * registerWorkerCloseFd. Guarded by forkMutex like liveResultPipes.
+ */
+std::vector<int> workerCloseFds;
 
 /** Closes and deregisters a result-pipe write end (parent side). */
 void
@@ -96,11 +107,14 @@ hardAbort()
 
 /** Applies a worker-side injected fault; may never return. */
 void
-applyWorkerFault(CellFault fault, unsigned attempt)
+applyWorkerFault(CellFault fault, unsigned attempt, u32 delay_ms)
 {
     switch (fault) {
       case CellFault::None:
       case CellFault::Garble: // handled at result-write time
+        return;
+      case CellFault::SlowResult:
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
         return;
       case CellFault::Crash:
         hardAbort();
@@ -168,6 +182,24 @@ fromRunOutcome(RunOutcome run, unsigned attempt)
 }
 
 } // namespace
+
+void
+registerWorkerCloseFd(int fd)
+{
+    std::lock_guard<std::mutex> lock(forkMutex);
+    if (std::find(workerCloseFds.begin(), workerCloseFds.end(), fd) ==
+        workerCloseFds.end())
+        workerCloseFds.push_back(fd);
+}
+
+void
+unregisterWorkerCloseFd(int fd)
+{
+    std::lock_guard<std::mutex> lock(forkMutex);
+    workerCloseFds.erase(std::remove(workerCloseFds.begin(),
+                                     workerCloseFds.end(), fd),
+                         workerCloseFds.end());
+}
 
 const char *
 cellStateName(CellState state)
@@ -412,7 +444,7 @@ CellRunner::runInline(const RunRequest &req, unsigned attempt) const
     // Inline faults are applied honestly — a crash really crashes the
     // process. Tests inject faults only under isolation; the fault
     // campaign refuses to run inline.
-    applyWorkerFault(req.injectFault, attempt);
+    applyWorkerFault(req.injectFault, attempt, req.faultDelayMs);
     return fromRunOutcome(executeCell(req), attempt);
 }
 
@@ -436,6 +468,8 @@ CellRunner::runIsolated(const RunRequest &req, unsigned attempt) const
             for (int fd : liveResultPipes)
                 if (fd != fds[1])
                     ::close(fd);
+            for (int fd : workerCloseFds)
+                ::close(fd);
         }
     }
     if (pid < 0) {
@@ -449,7 +483,10 @@ CellRunner::runIsolated(const RunRequest &req, unsigned attempt) const
     if (pid == 0) {
         // ------------------------------------------------------ worker
         ::close(fds[0]);
-        applyWorkerFault(req.injectFault, attempt);
+        // A parent that timed out and closed its read end must turn
+        // the result write into a plain failed write, not SIGPIPE.
+        ignoreSigpipe();
+        applyWorkerFault(req.injectFault, attempt, req.faultDelayMs);
         RunOutcome run = executeCell(req);
         std::vector<u8> payload = encodeRunOutcome(run);
         if (req.injectFault == CellFault::Garble) {
@@ -477,8 +514,8 @@ CellRunner::runIsolated(const RunRequest &req, unsigned attempt) const
     closeResultPipe(fds[1]);
     IpcFrame frame;
     FrameReadStatus rst =
-        readFrame(fds[0], frame,
-                  cfg_.timeoutMs > 0 ? cfg_.timeoutMs : -1);
+        readFrame(fds[0], frame, cfg_.timeoutMs > 0 ? cfg_.timeoutMs : -1,
+                  kMaxResultPayload);
     ::close(fds[0]);
 
     switch (rst) {

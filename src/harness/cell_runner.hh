@@ -52,6 +52,8 @@ enum class CellFault : u8
     Garble,      ///< write a corrupt result frame, then exit 0
     ExitNonzero, ///< exit(3) without producing a result
     CrashOnce,   ///< Crash on the first attempt only (retry succeeds)
+    SlowResult,  ///< sleep faultDelayMs before running, then succeed —
+                 ///< lands the result right at a configured deadline
 };
 
 /** One cell of an experiment matrix. */
@@ -62,6 +64,7 @@ struct RunRequest
     u64 maxInsns = 0;
     ReplayMode mode = ReplayMode::Auto; ///< trace replay vs live core
     CellFault injectFault = CellFault::None;
+    u32 faultDelayMs = 0; ///< SlowResult's sleep before executing
 };
 
 /** How a cell's execution ended. */
@@ -150,6 +153,18 @@ class CellRunner
  */
 std::vector<u8> encodeRunOutcome(const RunOutcome &out);
 Result<RunOutcome> decodeRunOutcomeChecked(const std::vector<u8> &bytes);
+
+/**
+ * Registers @p fd to be closed in every subsequently forked cell
+ * worker (and removes it again). The campaign daemon runs an accept
+ * loop in the same process that forks workers; a worker inheriting the
+ * listening socket or a client connection would keep that peer from
+ * ever seeing EOF after the daemon dies — exactly the kind of silent
+ * hang the service exists to prevent. Thread-safe; fds already
+ * registered are ignored.
+ */
+void registerWorkerCloseFd(int fd);
+void unregisterWorkerCloseFd(int fd);
 
 /**
  * Cache-style key of one cell: every input the outcome is a function

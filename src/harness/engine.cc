@@ -92,11 +92,20 @@ runMatrixCells(const std::vector<RunRequest> &requests, unsigned threads)
     if (threads <= 1 || requests.size() <= 1) {
         for (size_t i = 0; i < requests.size(); ++i)
             runCell(i);
-        return cells;
+    } else {
+        ThreadPool pool(threads);
+        pool.parallelFor(requests.size(), runCell);
     }
 
-    ThreadPool pool(threads);
-    pool.parallelFor(requests.size(), runCell);
+    // A fully successful matrix closes its journal: reruns replay from
+    // the compact form and repeat campaigns stop growing the file.
+    if (journal) {
+        bool all_ok = true;
+        for (const CellOutcome &c : cells)
+            all_ok = all_ok && c.status.ok();
+        if (all_ok)
+            journal->compact(requests);
+    }
     return cells;
 }
 

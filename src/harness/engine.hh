@@ -62,6 +62,17 @@ std::vector<RunOutcome> runMatrix(const std::vector<RunRequest> &requests,
  * denominator, say), degrading to the first failed cell's
  * FAILED(reason) placeholder when either produced no result.
  */
+/**
+ * Formats a metric of one already-fetched cell, degrading to its
+ * FAILED(reason) placeholder when the cell produced no result.
+ */
+inline std::string
+fmtCell(const CellOutcome &c,
+        const std::function<std::string(const RunOutcome &)> &fmt)
+{
+    return c.status.ok() ? fmt(c.outcome) : failLabel(c.status);
+}
+
 inline std::string
 fmtCells(const CellOutcome &a, const CellOutcome &b,
          const std::function<std::string(const RunOutcome &,
@@ -142,8 +153,7 @@ class Matrix
     std::string
     fmtNext(const std::function<std::string(const RunOutcome &)> &fmt)
     {
-        const CellOutcome &c = nextCell();
-        return c.status.ok() ? fmt(c.outcome) : failLabel(c.status);
+        return fmtCell(nextCell(), fmt);
     }
 
     /** Cells whose final attempt failed (valid after run()). */

@@ -1,5 +1,6 @@
 #include "journal.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fcntl.h>
 #include <filesystem>
@@ -20,6 +21,8 @@ namespace
 
 constexpr u32 kFrameJournalHeader = 100;
 constexpr u32 kFrameJournalRecord = 101;
+/** Tombstone closing a fully-completed journal (see compact()). */
+constexpr u32 kFrameJournalComplete = 102;
 
 /** Length of ArtifactCache::keyHash output (hex FNV-1a 64). */
 constexpr size_t kHashChars = 16;
@@ -34,6 +37,11 @@ appendOnce(const std::string &path, const std::vector<u8> &bytes)
     // One write(2) per record: a kill tears at most the file's tail,
     // and O_APPEND keeps concurrent appenders from interleaving.
     ssize_t w = ::write(fd, bytes.data(), bytes.size());
+    // The journal is a durability promise — a checkpoint that only
+    // reached the page cache is lost to the very host crash it exists
+    // to survive. One fsync per completed cell is cheap next to the
+    // simulation that produced it.
+    ::fsync(fd);
     ::close(fd);
     return w == static_cast<ssize_t>(bytes.size());
 }
@@ -88,6 +96,10 @@ MatrixJournal::load(const std::vector<RunRequest> &requests) const
     }
 
     while (decodeFrameAt(*bytes, pos, frame) == FrameReadStatus::Ok) {
+        if (frame.type == kFrameJournalComplete) {
+            complete_ = true;
+            continue;
+        }
         if (frame.type != kFrameJournalRecord)
             continue; // unknown record kind: skip, stay compatible
         ByteCursor cur(frame.payload);
@@ -113,6 +125,8 @@ MatrixJournal::append(size_t index, const std::string &cell_key,
                       const RunOutcome &outcome)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (complete_)
+        return; // compacted: every cell's record is already on disk
 
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
@@ -122,6 +136,10 @@ MatrixJournal::append(size_t index, const std::string &cell_key,
     if (!headerWritten_) {
         struct stat st;
         bool empty = ::stat(path_.c_str(), &st) != 0 || st.st_size == 0;
+        if (!empty && scanComplete()) {
+            complete_ = true;
+            return;
+        }
         if (empty) {
             std::vector<u8> key_bytes(matrixKey_.begin(),
                                       matrixKey_.end());
@@ -139,6 +157,74 @@ MatrixJournal::append(size_t index, const std::string &cell_key,
     std::vector<u8> env = encodeRunOutcome(outcome);
     payload.insert(payload.end(), env.begin(), env.end());
     appendOnce(path_, encodeFrame(kFrameJournalRecord, payload));
+}
+
+bool
+MatrixJournal::scanComplete() const
+{
+    auto bytes = readFileBytes(path_);
+    if (!bytes)
+        return false;
+    size_t pos = 0;
+    IpcFrame frame;
+    while (decodeFrameAt(*bytes, pos, frame) == FrameReadStatus::Ok)
+        if (frame.type == kFrameJournalComplete)
+            return true;
+    return false;
+}
+
+bool
+MatrixJournal::complete() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A fresh handle may not have touched the file yet; observe the
+    // on-disk tombstone rather than reporting "unknown" as "no".
+    if (!complete_ && scanComplete())
+        complete_ = true;
+    return complete_;
+}
+
+bool
+MatrixJournal::compact(const std::vector<RunRequest> &requests)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (complete_)
+        return true;
+
+    std::vector<std::optional<RunOutcome>> records = load(requests);
+    for (const std::optional<RunOutcome> &rec : records)
+        if (!rec)
+            return false; // incomplete journals keep appending
+
+    // Closed form: header, one record per cell, tombstone. Written to
+    // a private temp and renamed so a reader (or a kill) never sees a
+    // half-rewritten journal.
+    std::vector<u8> out = encodeFrame(
+        kFrameJournalHeader,
+        std::vector<u8>(matrixKey_.begin(), matrixKey_.end()));
+    for (size_t i = 0; i < records.size(); ++i) {
+        std::vector<u8> payload;
+        put32(payload, static_cast<u32>(i));
+        std::string hash = ArtifactCache::keyHash(cellKey(requests[i]));
+        payload.insert(payload.end(), hash.begin(), hash.end());
+        std::vector<u8> env = encodeRunOutcome(*records[i]);
+        payload.insert(payload.end(), env.begin(), env.end());
+        std::vector<u8> frame = encodeFrame(kFrameJournalRecord, payload);
+        out.insert(out.end(), frame.begin(), frame.end());
+    }
+    std::vector<u8> tomb = encodeFrame(kFrameJournalComplete, {});
+    out.insert(out.end(), tomb.begin(), tomb.end());
+
+    std::string tmp = path_ + ".tmp." + std::to_string(::getpid());
+    if (!writeFileBytes(tmp, out))
+        return false;
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    complete_ = true;
+    headerWritten_ = true;
+    return true;
 }
 
 } // namespace harness

@@ -70,20 +70,41 @@ class MatrixJournal
 
     /**
      * Appends one completed cell. Thread-safe; each record is one
-     * write(2) so concurrent appends and kills cannot interleave
-     * partial records anywhere but the tail. Failures are non-fatal
-     * (the cell simply re-executes on resume).
+     * write(2) + fsync so a checkpoint survives a host crash, and
+     * concurrent appends and kills cannot interleave partial records
+     * anywhere but the tail. Failures are non-fatal (the cell simply
+     * re-executes on resume). Appending to a compacted (complete)
+     * journal is a no-op — the record is already there.
      */
     void append(size_t index, const std::string &cell_key,
                 const RunOutcome &outcome);
 
+    /**
+     * Rewrites a fully-completed journal as its minimal closed form:
+     * header, exactly one record per cell, and a completion tombstone
+     * frame. A daemon replaying the same matrix across many requests
+     * would otherwise append a duplicate record set per request and
+     * grow the file without bound; after compaction, further appends
+     * are suppressed (see append) and loads stay O(cells). Atomic
+     * (temp + rename); best-effort like every journal write.
+     * @return true when the journal is complete (already or now)
+     */
+    bool compact(const std::vector<RunRequest> &requests);
+
+    /** Whether a completion tombstone has been observed/written. */
+    bool complete() const;
+
   private:
+    /** Scans the file for a completion tombstone (mutex_ held). */
+    bool scanComplete() const;
+
     std::string dir_;
     std::string matrixKey_;
     std::string path_;
     size_t numCells_;
     mutable std::mutex mutex_;
     bool headerWritten_ = false;
+    mutable bool complete_ = false; ///< tombstone seen or written
 };
 
 } // namespace harness

@@ -1,0 +1,158 @@
+#include "client.hh"
+
+#include <unistd.h>
+
+#include "common/byteio.hh"
+#include "common/ipc_frame.hh"
+#include "common/logging.hh"
+#include "common/socket.hh"
+
+namespace cps
+{
+namespace service
+{
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+bool
+ServiceClient::connect(const std::string &socket_path, long timeout_ms)
+{
+    ignoreSigpipe();
+    close();
+    fd_ = connectUnix(socket_path, timeout_ms);
+    return fd_ >= 0;
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ServiceClient::sendRequest(const MatrixRequestMsg &msg)
+{
+    if (fd_ < 0)
+        return false;
+    return writeFrame(fd_, kMsgMatrixRequest, encodeMatrixRequest(msg));
+}
+
+MatrixReply
+ServiceClient::collect(u32 request_id, long timeout_ms)
+{
+    MatrixReply reply;
+    if (fd_ < 0) {
+        reply.error = "not connected";
+        return reply;
+    }
+    for (;;) {
+        IpcFrame frame;
+        FrameReadStatus st =
+            readFrame(fd_, frame, timeout_ms, kMaxReplyPayload);
+        if (st != FrameReadStatus::Ok) {
+            // A daemon killed mid-stream surfaces here as Eof/Torn —
+            // the cells already collected are still valid (and
+            // journaled daemon-side).
+            reply.error = strfmt("stream ended: %s",
+                                 frameReadStatusName(st));
+            return reply;
+        }
+        switch (frame.type) {
+        case kMsgCellResult: {
+            CellResultMsg cell;
+            if (!decodeCellResult(frame.payload, &cell)) {
+                reply.error = "undecodable cell result";
+                return reply;
+            }
+            if (cell.requestId == request_id)
+                reply.cells.push_back(std::move(cell));
+            break;
+        }
+        case kMsgMatrixEnd: {
+            MatrixEndMsg end;
+            if (!decodeMatrixEnd(frame.payload, &end)) {
+                reply.error = "undecodable matrix end";
+                return reply;
+            }
+            if (end.requestId != request_id)
+                break;
+            reply.ended = true;
+            reply.end = end;
+            return reply;
+        }
+        case kMsgOverloaded: {
+            OverloadedMsg o;
+            if (!decodeOverloaded(frame.payload, &o)) {
+                reply.error = "undecodable overload reply";
+                return reply;
+            }
+            if (o.requestId != request_id)
+                break;
+            reply.overloaded = true;
+            reply.overload = std::move(o);
+            return reply;
+        }
+        case kMsgError: {
+            ByteCursor cur(frame.payload);
+            u32 id = cur.get32();
+            std::string text = cur.getString(cur.remaining());
+            if (id != 0 && id != request_id)
+                break;
+            reply.error = text.empty() ? "server error" : text;
+            return reply;
+        }
+        default:
+            break; // Pong/stats for someone else: ignore
+        }
+    }
+}
+
+MatrixReply
+ServiceClient::runMatrix(const MatrixRequestMsg &msg, long timeout_ms)
+{
+    if (!sendRequest(msg)) {
+        MatrixReply reply;
+        reply.error = "send failed";
+        return reply;
+    }
+    return collect(msg.requestId, timeout_ms);
+}
+
+bool
+ServiceClient::ping(long timeout_ms)
+{
+    if (fd_ < 0)
+        return false;
+    const std::vector<u8> token = {'h', 'i'};
+    if (!writeFrame(fd_, kMsgPing, token))
+        return false;
+    IpcFrame frame;
+    if (readFrame(fd_, frame, timeout_ms, kMaxReplyPayload) !=
+        FrameReadStatus::Ok)
+        return false;
+    return frame.type == kMsgPong && frame.payload == token;
+}
+
+std::string
+ServiceClient::stats(long timeout_ms)
+{
+    if (fd_ < 0)
+        return std::string();
+    if (!writeFrame(fd_, kMsgStatsRequest, {}))
+        return std::string();
+    IpcFrame frame;
+    if (readFrame(fd_, frame, timeout_ms, kMaxReplyPayload) !=
+            FrameReadStatus::Ok ||
+        frame.type != kMsgStatsReply)
+        return std::string();
+    return std::string(frame.payload.begin(), frame.payload.end());
+}
+
+} // namespace service
+} // namespace cps

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Blocking client of the campaign daemon.
+ *
+ * Wraps the framed protocol (service/protocol) in a call-per-request
+ * interface: connect, send one MatrixRequest, and collect the streamed
+ * CellResult frames until the daemon closes the request (MatrixEnd),
+ * rejects it (Overloaded), reports it malformed (Error), or the stream
+ * itself fails. Every failure mode — daemon never started, daemon
+ * killed mid-stream, torn frames, timeout — comes back as data on the
+ * MatrixReply, never as an exception or a signal.
+ */
+
+#ifndef CPS_SERVICE_CLIENT_HH
+#define CPS_SERVICE_CLIENT_HH
+
+#include <string>
+#include <vector>
+
+#include "protocol.hh"
+
+namespace cps
+{
+namespace service
+{
+
+/** Everything one request produced, in arrival order. */
+struct MatrixReply
+{
+    std::vector<CellResultMsg> cells; ///< streamed results, as received
+    bool ended = false;               ///< MatrixEnd arrived
+    MatrixEndMsg end;
+    bool overloaded = false; ///< admission-control rejection
+    OverloadedMsg overload;
+    std::string error; ///< non-empty on protocol/stream failure
+
+    /** The request ran to completion and every cell succeeded. */
+    bool
+    allOk() const
+    {
+        return ended && error.empty() &&
+               end.status == MatrixEndStatus::Ok && end.failedCells == 0 &&
+               end.cancelledCells == 0;
+    }
+};
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient();
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Connects (retrying while the daemon binds its socket). */
+    bool connect(const std::string &socket_path, long timeout_ms);
+    void close();
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Ships one request; collect() gathers the replies. */
+    bool sendRequest(const MatrixRequestMsg &msg);
+
+    /**
+     * Reads reply frames for @p request_id until the request closes.
+     * @p timeout_ms bounds each frame gap, not the whole request — a
+     * daemon chewing on a long cell keeps the stream alive by simply
+     * finishing cells as they come.
+     */
+    MatrixReply collect(u32 request_id, long timeout_ms);
+
+    /** sendRequest + collect. */
+    MatrixReply runMatrix(const MatrixRequestMsg &msg, long timeout_ms);
+
+    /** Health probe: Ping -> Pong round trip. */
+    bool ping(long timeout_ms);
+
+    /** Introspection: the daemon's key=value stats text ("" on error). */
+    std::string stats(long timeout_ms);
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace service
+} // namespace cps
+
+#endif // CPS_SERVICE_CLIENT_HH

@@ -1,0 +1,147 @@
+#include "daemon_harness.hh"
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace cps
+{
+namespace service
+{
+
+namespace
+{
+
+CampaignServer *gChildServer = nullptr;
+volatile sig_atomic_t gChildSignals = 0;
+
+void
+childOnTerm(int)
+{
+    if (!gChildServer)
+        return;
+    if (++gChildSignals == 1)
+        gChildServer->requestDrain();
+    else
+        gChildServer->requestStop();
+}
+
+/** waitpid with a deadline. @return true when the child was reaped. */
+bool
+reapWithin(pid_t pid, long timeout_ms, int *status)
+{
+    const long step_ms = 10;
+    for (long waited = 0;; waited += step_ms) {
+        pid_t r = ::waitpid(pid, status, WNOHANG);
+        if (r == pid)
+            return true;
+        if (r < 0)
+            return false; // already reaped elsewhere
+        if (waited >= timeout_ms)
+            return false;
+        ::usleep(step_ms * 1000);
+    }
+}
+
+} // namespace
+
+DaemonProcess::~DaemonProcess()
+{
+    if (pid_ > 0)
+        stop();
+}
+
+DaemonProcess::DaemonProcess(DaemonProcess &&other) noexcept
+    : pid_(other.pid_)
+{
+    other.pid_ = -1;
+}
+
+DaemonProcess &
+DaemonProcess::operator=(DaemonProcess &&other) noexcept
+{
+    if (this != &other) {
+        if (pid_ > 0)
+            stop();
+        pid_ = other.pid_;
+        other.pid_ = -1;
+    }
+    return *this;
+}
+
+int
+DaemonProcess::stop(long timeout_ms)
+{
+    if (pid_ <= 0)
+        return -1;
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    if (!reapWithin(pid_, timeout_ms, &status)) {
+        ::kill(pid_, SIGKILL);
+        ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+        return -1;
+    }
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+void
+DaemonProcess::kill9()
+{
+    if (pid_ <= 0)
+        return;
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+}
+
+int
+DaemonProcess::wait(long timeout_ms)
+{
+    if (pid_ <= 0)
+        return -1;
+    int status = 0;
+    if (!reapWithin(pid_, timeout_ms, &status)) {
+        kill9();
+        return -1;
+    }
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+DaemonProcess
+spawnDaemon(const ServiceConfig &cfg)
+{
+    DaemonProcess daemon;
+    pid_t pid = ::fork();
+    if (pid < 0)
+        return daemon;
+    if (pid == 0) {
+        // Child: a real daemon process. The parent's warmed Suite came
+        // along with the fork, so cells start executing immediately.
+        CampaignServer server(cfg);
+        gChildServer = &server;
+        struct sigaction sa = {};
+        sa.sa_handler = childOnTerm;
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+        std::string err;
+        if (!server.start(&err))
+            ::_exit(9);
+        server.serve();
+        ::_exit(0);
+    }
+    daemon.pid_ = pid;
+    // Wait until the socket accepts (connectUnix retries on ENOENT /
+    // ECONNREFUSED); the probe connection is closed straight away and
+    // the daemon reaps it as a clean EOF.
+    int probe = connectUnix(cfg.socketPath, 5000);
+    if (probe >= 0)
+        ::close(probe);
+    return daemon;
+}
+
+} // namespace service
+} // namespace cps

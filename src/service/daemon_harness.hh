@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fork-a-daemon harness shared by the service tests, the chaos
+ * campaign, and the service benchmark.
+ *
+ * Each caller needs a real cpserved process — separate pid, own event
+ * loop, killable with real signals — without depending on the build
+ * layout to exec a binary. spawnDaemon() forks and runs CampaignServer
+ * in the child with an explicit ServiceConfig; because the fork
+ * inherits the parent's warmed Suite (generate the benchmarks *before*
+ * spawning), the daemon starts serving instantly instead of
+ * regenerating benchmarks per scenario.
+ *
+ * The harness is deliberately blunt about teardown: stop() SIGTERMs
+ * and escalates to SIGKILL on a deadline, and kill9() is a first-class
+ * operation — the daemon's crash-only design is the thing under test.
+ */
+
+#ifndef CPS_SERVICE_DAEMON_HARNESS_HH
+#define CPS_SERVICE_DAEMON_HARNESS_HH
+
+#include <sys/types.h>
+
+#include "server.hh"
+
+namespace cps
+{
+namespace service
+{
+
+/** One forked daemon process. */
+class DaemonProcess
+{
+  public:
+    DaemonProcess() = default;
+    ~DaemonProcess(); ///< stop() if still running
+    DaemonProcess(const DaemonProcess &) = delete;
+    DaemonProcess &operator=(const DaemonProcess &) = delete;
+    DaemonProcess(DaemonProcess &&other) noexcept;
+    DaemonProcess &operator=(DaemonProcess &&other) noexcept;
+
+    bool running() const { return pid_ > 0; }
+    pid_t pid() const { return pid_; }
+
+    /**
+     * SIGTERM, wait up to @p timeout_ms for a clean exit, then
+     * SIGKILL. @return the daemon's exit code, or -1 when it had to be
+     * killed (or died by a signal).
+     */
+    int stop(long timeout_ms = 10000);
+
+    /** SIGKILL immediately and reap. Crash-only restart is a feature:
+     *  nothing journaled is lost. */
+    void kill9();
+
+    /** Reaps a daemon expected to exit on its own (e.g. the
+     *  exitAfterCells hook). @return exit code, or -1 on
+     *  timeout/signal-death. */
+    int wait(long timeout_ms = 30000);
+
+  private:
+    friend DaemonProcess spawnDaemon(const ServiceConfig &cfg);
+    pid_t pid_ = -1;
+};
+
+/**
+ * Forks a child that runs CampaignServer(cfg) until drained, then
+ * exits 0 (startup failure: exits 9). Returns once the daemon's socket
+ * accepts connections, so the caller can connect immediately.
+ * running() is false when the spawn failed.
+ */
+DaemonProcess spawnDaemon(const ServiceConfig &cfg);
+
+} // namespace service
+} // namespace cps
+
+#endif // CPS_SERVICE_DAEMON_HARNESS_HH

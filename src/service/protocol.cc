@@ -1,0 +1,274 @@
+#include "protocol.hh"
+
+#include "common/byteio.hh"
+#include "common/logging.hh"
+#include "harness/suite.hh"
+
+namespace cps
+{
+namespace service
+{
+
+namespace
+{
+
+void
+putString(std::vector<u8> &out, const std::string &s)
+{
+    put32(out, static_cast<u32>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string
+getString32(ByteCursor &cur, size_t max_len)
+{
+    u32 len = cur.get32();
+    if (!cur.ok() || len > max_len || len > cur.remaining())
+        return std::string();
+    return cur.getString(len);
+}
+
+/** Per-string sanity bounds: no legitimate name or detail is longer. */
+constexpr size_t kMaxNameLen = 256;
+constexpr size_t kMaxDetailLen = 4096;
+constexpr size_t kMaxReasonLen = 4096;
+/** A request may not name more cells than the daemon would ever admit. */
+constexpr u32 kMaxCellsPerRequest = 4096;
+
+} // namespace
+
+const char *
+resultSourceName(ResultSource source)
+{
+    switch (source) {
+    case ResultSource::Executed:
+        return "executed";
+    case ResultSource::Shared:
+        return "shared";
+    case ResultSource::Memo:
+        return "memo";
+    case ResultSource::Journal:
+        return "journal";
+    }
+    return "?";
+}
+
+std::vector<u8>
+encodeMatrixRequest(const MatrixRequestMsg &msg)
+{
+    std::vector<u8> out;
+    put8(out, kProtocolVersion);
+    put32(out, msg.requestId);
+    put64(out, msg.deadlineMs);
+    put32(out, static_cast<u32>(msg.cells.size()));
+    for (const CellSpec &cell : msg.cells) {
+        putString(out, cell.bench);
+        put8(out, static_cast<u8>(cell.base));
+        put8(out, cell.codeModel);
+        put8(out, cell.injectFault);
+        put64(out, cell.maxInsns);
+    }
+    return out;
+}
+
+bool
+decodeMatrixRequest(const std::vector<u8> &payload, MatrixRequestMsg *out)
+{
+    ByteCursor cur(payload);
+    if (cur.get8() != kProtocolVersion)
+        return false;
+    out->requestId = cur.get32();
+    out->deadlineMs = cur.get64();
+    u32 n = cur.get32();
+    if (!cur.ok() || n > kMaxCellsPerRequest)
+        return false;
+    out->cells.clear();
+    out->cells.reserve(n);
+    for (u32 i = 0; i < n; ++i) {
+        CellSpec cell;
+        cell.bench = getString32(cur, kMaxNameLen);
+        cell.base = static_cast<BaseMachine>(cur.get8());
+        cell.codeModel = cur.get8();
+        cell.injectFault = cur.get8();
+        cell.maxInsns = cur.get64();
+        if (!cur.ok() || cell.bench.empty())
+            return false;
+        out->cells.push_back(std::move(cell));
+    }
+    return cur.ok() && cur.remaining() == 0;
+}
+
+std::vector<u8>
+encodeCellResult(const CellResultMsg &msg)
+{
+    std::vector<u8> out;
+    put8(out, kProtocolVersion);
+    put32(out, msg.requestId);
+    put32(out, msg.cellIndex);
+    put8(out, static_cast<u8>(msg.status.state));
+    put8(out, static_cast<u8>(msg.source));
+    put32(out, msg.status.attempts);
+    put32(out, static_cast<u32>(msg.status.termSignal));
+    put32(out, static_cast<u32>(msg.status.exitCode));
+    putString(out, msg.status.detail);
+    if (msg.status.ok()) {
+        // The exact envelope bytes a batch run journals — byte equality
+        // with runMatrixCells() is a protocol invariant, not luck.
+        std::vector<u8> env = harness::encodeRunOutcome(msg.outcome);
+        out.insert(out.end(), env.begin(), env.end());
+    }
+    return out;
+}
+
+bool
+decodeCellResult(const std::vector<u8> &payload, CellResultMsg *out)
+{
+    ByteCursor cur(payload);
+    if (cur.get8() != kProtocolVersion)
+        return false;
+    out->requestId = cur.get32();
+    out->cellIndex = cur.get32();
+    out->status = harness::CellStatus();
+    out->status.state = static_cast<harness::CellState>(cur.get8());
+    out->source = static_cast<ResultSource>(cur.get8());
+    out->status.attempts = cur.get32();
+    out->status.termSignal = static_cast<int>(cur.get32());
+    out->status.exitCode = static_cast<int>(cur.get32());
+    out->status.detail = getString32(cur, kMaxDetailLen);
+    if (!cur.ok())
+        return false;
+    out->outcome = RunOutcome();
+    if (out->status.ok()) {
+        Result<RunOutcome> env = harness::decodeRunOutcomeChecked(
+            cur.getBytes(cur.remaining()));
+        if (!env)
+            return false;
+        out->outcome = std::move(*env);
+    }
+    return cur.ok() && cur.remaining() == 0;
+}
+
+std::vector<u8>
+encodeMatrixEnd(const MatrixEndMsg &msg)
+{
+    std::vector<u8> out;
+    put8(out, kProtocolVersion);
+    put32(out, msg.requestId);
+    put8(out, static_cast<u8>(msg.status));
+    put32(out, msg.okCells);
+    put32(out, msg.failedCells);
+    put32(out, msg.cancelledCells);
+    return out;
+}
+
+bool
+decodeMatrixEnd(const std::vector<u8> &payload, MatrixEndMsg *out)
+{
+    ByteCursor cur(payload);
+    if (cur.get8() != kProtocolVersion)
+        return false;
+    out->requestId = cur.get32();
+    out->status = static_cast<MatrixEndStatus>(cur.get8());
+    out->okCells = cur.get32();
+    out->failedCells = cur.get32();
+    out->cancelledCells = cur.get32();
+    return cur.ok() && cur.remaining() == 0;
+}
+
+std::vector<u8>
+encodeOverloaded(const OverloadedMsg &msg)
+{
+    std::vector<u8> out;
+    put8(out, kProtocolVersion);
+    put32(out, msg.requestId);
+    put32(out, msg.queuedCells);
+    put32(out, msg.queueMax);
+    putString(out, msg.reason);
+    return out;
+}
+
+bool
+decodeOverloaded(const std::vector<u8> &payload, OverloadedMsg *out)
+{
+    ByteCursor cur(payload);
+    if (cur.get8() != kProtocolVersion)
+        return false;
+    out->requestId = cur.get32();
+    out->queuedCells = cur.get32();
+    out->queueMax = cur.get32();
+    out->reason = getString32(cur, kMaxReasonLen);
+    return cur.ok() && cur.remaining() == 0;
+}
+
+bool
+resolveCellSpec(const CellSpec &spec, bool allow_faults,
+                harness::RunRequest *out, std::string *err)
+{
+    Suite &suite = Suite::instance();
+    bool known = false;
+    for (const std::string &name : suite.names())
+        known = known || name == spec.bench;
+    if (!known) {
+        *err = strfmt("unknown benchmark \"%s\"", spec.bench.c_str());
+        return false;
+    }
+
+    MachineConfig base;
+    switch (spec.base) {
+    case BaseMachine::Issue1:
+        base = baseline1Issue();
+        break;
+    case BaseMachine::Issue4:
+        base = baseline4Issue();
+        break;
+    case BaseMachine::Issue8:
+        base = baseline8Issue();
+        break;
+    default:
+        *err = strfmt("unknown base machine %u",
+                      static_cast<unsigned>(spec.base));
+        return false;
+    }
+
+    // CodePackCustom needs a DecompressorConfig the wire doesn't carry;
+    // running it with the default would silently compute a different
+    // cell than the client meant.
+    const CodeModel model = static_cast<CodeModel>(spec.codeModel);
+    switch (model) {
+    case CodeModel::Native:
+    case CodeModel::CodePack:
+    case CodeModel::CodePackOptimized:
+    case CodeModel::CodePackSoftware:
+    case CodeModel::NativePrefetch:
+        break;
+    default:
+        *err = strfmt("unsupported code model %u",
+                      static_cast<unsigned>(spec.codeModel));
+        return false;
+    }
+
+    const auto fault = static_cast<harness::CellFault>(spec.injectFault);
+    if (fault != harness::CellFault::None) {
+        if (!allow_faults) {
+            *err = "fault injection not permitted by this server";
+            return false;
+        }
+        if (spec.injectFault >
+            static_cast<u8>(harness::CellFault::SlowResult)) {
+            *err = strfmt("unknown fault %u",
+                          static_cast<unsigned>(spec.injectFault));
+            return false;
+        }
+    }
+
+    out->bench = &suite.get(spec.bench);
+    out->cfg = base.withCodeModel(model);
+    out->maxInsns = spec.maxInsns != 0 ? spec.maxInsns : Suite::runInsns();
+    out->mode = ReplayMode::Auto;
+    out->injectFault = fault;
+    out->faultDelayMs = 0;
+    return true;
+}
+
+} // namespace service
+} // namespace cps

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Wire protocol of the campaign service.
+ *
+ * Clients and the cpserved daemon exchange CRC-framed messages
+ * (common/ipc_frame) over a Unix-domain stream socket. A client sends
+ * one MatrixRequest naming experiment cells symbolically — benchmark
+ * name, baseline machine, code model, instruction budget — and the
+ * daemon streams back one CellResult per cell as it completes
+ * (executed, deduplicated against another client's identical in-flight
+ * cell, served from the in-memory memo, or replayed from a resume
+ * journal), closing the stream with a MatrixEnd summary. Requests the
+ * daemon cannot admit are answered with a structured Overloaded
+ * rejection instead of being queued without bound.
+ *
+ * Every message embeds the ids it concerns (requestId, cellIndex), so
+ * a reply is interpretable even if frames from concurrent requests on
+ * one connection interleave. The result payload reuses the
+ * cell-runner's RunOutcome envelope byte-for-byte — the same bytes a
+ * forked worker ships over its pipe and a journal stores on disk —
+ * which is what makes daemon-served results bit-identical to a batch
+ * runMatrixCells() run.
+ */
+
+#ifndef CPS_SERVICE_PROTOCOL_HH
+#define CPS_SERVICE_PROTOCOL_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/cell_runner.hh"
+
+namespace cps
+{
+namespace service
+{
+
+/** Protocol version; bump on any message-shape change. */
+constexpr u8 kProtocolVersion = 1;
+
+/** Frame types (the u32 carried by common/ipc_frame). */
+enum MsgType : u32
+{
+    kMsgMatrixRequest = 1, ///< client -> server: run these cells
+    kMsgCellResult = 2,    ///< server -> client: one cell finished
+    kMsgMatrixEnd = 3,     ///< server -> client: request closed
+    kMsgOverloaded = 4,    ///< server -> client: admission rejected
+    kMsgPing = 5,          ///< client -> server: health probe
+    kMsgPong = 6,          ///< server -> client: alive
+    kMsgStatsRequest = 7,  ///< client -> server: introspection
+    kMsgStatsReply = 8,    ///< server -> client: key=value lines
+    kMsgError = 9,         ///< server -> client: malformed request
+};
+
+/** Request frames are small; anything bigger is a hostile length. */
+constexpr size_t kMaxRequestPayload = 4u << 20;
+/** Reply frames carry one ~100-byte envelope plus headers. */
+constexpr size_t kMaxReplyPayload = 1u << 20;
+
+/** The baseline machine a cell starts from (paper Table 2 presets). */
+enum class BaseMachine : u8
+{
+    Issue1 = 0, ///< baseline1Issue()
+    Issue4 = 1, ///< baseline4Issue()
+    Issue8 = 2, ///< baseline8Issue()
+};
+
+/**
+ * One requested cell, specified symbolically. The daemon resolves the
+ * spec against its own Suite and presets, so client and daemon agree
+ * on the full MachineConfig by construction rather than by shipping
+ * (and trusting) hundreds of config fields.
+ */
+struct CellSpec
+{
+    std::string bench;                          ///< profile name ("go", ...)
+    BaseMachine base = BaseMachine::Issue4;     ///< machine preset
+    u8 codeModel = 0;                           ///< cps::CodeModel value
+    u64 maxInsns = 0;                           ///< 0 = Suite::runInsns()
+    u8 injectFault = 0;                         ///< harness::CellFault;
+                                                ///< chaos/test use only
+};
+
+/** A client's experiment-matrix request. */
+struct MatrixRequestMsg
+{
+    u32 requestId = 0;  ///< echoed in every reply frame
+    u64 deadlineMs = 0; ///< 0 = server default; capped by the server
+    std::vector<CellSpec> cells;
+};
+
+/** Where a streamed result came from. */
+enum class ResultSource : u8
+{
+    Executed = 0, ///< a worker ran this cell for this request
+    Shared = 1,   ///< deduplicated onto another request's in-flight cell
+    Memo = 2,     ///< served from the daemon's in-memory result memo
+    Journal = 3,  ///< replayed from the on-disk resume journal
+};
+
+/** Short stable name ("executed", "shared", "memo", "journal"). */
+const char *resultSourceName(ResultSource source);
+
+/** One finished (or failed) cell, streamed as it completes. */
+struct CellResultMsg
+{
+    u32 requestId = 0;
+    u32 cellIndex = 0;
+    harness::CellStatus status; ///< fromJournal unused on the wire
+    ResultSource source = ResultSource::Executed;
+    RunOutcome outcome; ///< valid only when status.ok()
+};
+
+/** Why a request's stream ended. */
+enum class MatrixEndStatus : u8
+{
+    Ok = 0,              ///< every cell reported
+    DeadlineExpired = 1, ///< per-request deadline hit; stream truncated
+    Drained = 2,         ///< daemon drained (SIGTERM) mid-request
+};
+
+/** Closing summary of one request. */
+struct MatrixEndMsg
+{
+    u32 requestId = 0;
+    MatrixEndStatus status = MatrixEndStatus::Ok;
+    u32 okCells = 0;
+    u32 failedCells = 0;
+    u32 cancelledCells = 0; ///< never ran (deadline/drain/disconnect)
+};
+
+/** Structured admission-control rejection. */
+struct OverloadedMsg
+{
+    u32 requestId = 0;
+    u32 queuedCells = 0; ///< queue depth at rejection time
+    u32 queueMax = 0;
+    std::string reason;
+};
+
+std::vector<u8> encodeMatrixRequest(const MatrixRequestMsg &msg);
+bool decodeMatrixRequest(const std::vector<u8> &payload,
+                         MatrixRequestMsg *out);
+
+std::vector<u8> encodeCellResult(const CellResultMsg &msg);
+bool decodeCellResult(const std::vector<u8> &payload, CellResultMsg *out);
+
+std::vector<u8> encodeMatrixEnd(const MatrixEndMsg &msg);
+bool decodeMatrixEnd(const std::vector<u8> &payload, MatrixEndMsg *out);
+
+std::vector<u8> encodeOverloaded(const OverloadedMsg &msg);
+bool decodeOverloaded(const std::vector<u8> &payload, OverloadedMsg *out);
+
+/**
+ * Resolves a symbolic spec into a runnable request against the
+ * process-wide Suite. Fails (false, @p err filled) on an unknown
+ * benchmark, base machine, code model, or fault id — the daemon
+ * rejects the whole request rather than running a guessed config.
+ * Fault injection is refused unless @p allow_faults.
+ */
+bool resolveCellSpec(const CellSpec &spec, bool allow_faults,
+                     harness::RunRequest *out, std::string *err);
+
+} // namespace service
+} // namespace cps
+
+#endif // CPS_SERVICE_PROTOCOL_HH

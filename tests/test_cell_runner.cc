@@ -11,6 +11,7 @@
  * journal (including torn tails and stale cell keys).
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <unistd.h>
@@ -260,6 +261,33 @@ TEST(Watchdog, ZeroLimitDisables)
         EXPECT_FALSE(dog.tick(0));
 }
 
+TEST(Watchdog, CounterWraparoundRegistersAsProgress)
+{
+    // A progress counter crossing the u64 wrap (…, ~0-1, ~0, 0, 1, …)
+    // changes on every check; the watchdog must see progress, not a
+    // phantom stall, anywhere along the way.
+    ProgressWatchdog dog(1, 1); // hair trigger: one stalled check trips
+    u64 p = ~u64{0} - 2;
+    for (int i = 0; i < 6; ++i)
+        EXPECT_FALSE(dog.tick(p + static_cast<u64>(i)))
+            << "tripped at step " << i;
+    EXPECT_EQ(dog.stalledChecks(), 0u);
+}
+
+TEST(Watchdog, EveryStuckValueTripsAtTheSameCheckCount)
+{
+    // ~0 was once the "no previous reading" sentinel; a counter stuck
+    // there must trip after exactly first-check + stall_limit checks
+    // like any other stuck value, not one check early.
+    for (u64 stuck : {u64{0}, u64{5}, ~u64{0}}) {
+        ProgressWatchdog dog(1, 2);
+        EXPECT_FALSE(dog.tick(stuck)); // first check: progress
+        EXPECT_FALSE(dog.tick(stuck)); // stalled check 1
+        EXPECT_TRUE(dog.tick(stuck))   // stalled check 2: trips
+            << "stuck value " << stuck;
+    }
+}
+
 // ------------------------------------------------------------ keys
 
 TEST(CellKey, SensitiveToEveryRunParameter)
@@ -341,6 +369,45 @@ TEST(CellRunner, HangingWorkerTripsTheDeadline)
     CellOutcome out = CellRunner(isolatedConfig(300)).run(req);
     EXPECT_EQ(out.status.state, CellState::Timeout);
     EXPECT_EQ(harness::failLabel(out.status), "FAILED(timeout)");
+}
+
+TEST(CellRunner, SlowWorkerInsideTheDeadlineIsNotATimeout)
+{
+    // A worker that delivers late-but-in-time must produce a result
+    // byte-identical to a prompt one: the deadline is a cliff at
+    // CPS_CELL_TIMEOUT_MS, not a gradual penalty.
+    CellOutcome baseline =
+        CellRunner(CellRunnerConfig{}).run(benchRequest());
+
+    RunRequest req = benchRequest("pegwit", CellFault::SlowResult);
+    req.faultDelayMs = 100;
+    CellOutcome out = CellRunner(isolatedConfig(20000)).run(req);
+    ASSERT_TRUE(out.status.ok()) << out.status.describe();
+    EXPECT_EQ(out.status.attempts, 1u);
+    expectSameOutcome(out.outcome, baseline.outcome);
+}
+
+TEST(CellRunner, DeadlineTripsAtTheConfiguredBoundNotTheWorkerPace)
+{
+    // The worker sleeps far past the deadline; the runner must kill it
+    // at the configured bound instead of waiting out the sleep, and
+    // the diagnosis must name the exact CPS_CELL_TIMEOUT_MS value.
+    constexpr long kTimeoutMs = 300;
+    RunRequest req = benchRequest("pegwit", CellFault::SlowResult);
+    req.faultDelayMs = 10000;
+    auto start = std::chrono::steady_clock::now();
+    CellOutcome out = CellRunner(isolatedConfig(kTimeoutMs)).run(req);
+    long elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_EQ(out.status.state, CellState::Timeout);
+    EXPECT_NE(out.status.detail.find("within 300 ms"),
+              std::string::npos)
+        << out.status.detail;
+    // Generous upper bound (slow CI hosts) that still proves the
+    // runner gave up at ~kTimeoutMs rather than at faultDelayMs.
+    EXPECT_LT(elapsed_ms, 5000);
 }
 
 TEST(CellRunner, GarbledResultFrameIsAProtocolError)
@@ -545,6 +612,90 @@ TEST(MatrixJournal, MissingFileLoadsNothing)
                                    reqs.size());
     std::vector<std::optional<RunOutcome>> loaded = journal.load(reqs);
     EXPECT_FALSE(loaded[0].has_value());
+}
+
+TEST(MatrixJournal, CompactShrinksDuplicatesAndKeepsEveryCell)
+{
+    ScratchDir dir("journal_compact");
+    std::vector<RunRequest> reqs{benchRequest("pegwit"),
+                                 benchRequest("go")};
+    const std::string key = harness::matrixKey(reqs);
+
+    CellOutcome first = CellRunner(CellRunnerConfig{}).run(reqs[0]);
+    CellOutcome second = CellRunner(CellRunnerConfig{}).run(reqs[1]);
+    ASSERT_TRUE(first.status.ok());
+    ASSERT_TRUE(second.status.ok());
+
+    // A daemon serving the same matrix repeatedly appends the same
+    // records over and over; compaction must collapse the file to its
+    // minimal closed form without losing a cell.
+    harness::MatrixJournal journal(dir.path, key, reqs.size());
+    for (int round = 0; round < 5; ++round) {
+        journal.append(0, harness::cellKey(reqs[0]), first.outcome);
+        journal.append(1, harness::cellKey(reqs[1]), second.outcome);
+    }
+    auto bloated = std::filesystem::file_size(journal.path());
+    ASSERT_TRUE(journal.compact(reqs));
+    EXPECT_TRUE(journal.complete());
+    auto compacted = std::filesystem::file_size(journal.path());
+    EXPECT_LT(compacted, bloated);
+
+    std::vector<std::optional<RunOutcome>> loaded =
+        harness::MatrixJournal(dir.path, key, reqs.size()).load(reqs);
+    ASSERT_TRUE(loaded[0].has_value());
+    ASSERT_TRUE(loaded[1].has_value());
+    expectSameOutcome(*loaded[0], first.outcome);
+    expectSameOutcome(*loaded[1], second.outcome);
+}
+
+TEST(MatrixJournal, CompactedJournalSuppressesFurtherAppends)
+{
+    ScratchDir dir("journal_tombstone");
+    std::vector<RunRequest> reqs{benchRequest("pegwit")};
+    const std::string key = harness::matrixKey(reqs);
+
+    CellOutcome done = CellRunner(CellRunnerConfig{}).run(reqs[0]);
+    ASSERT_TRUE(done.status.ok());
+
+    harness::MatrixJournal journal(dir.path, key, reqs.size());
+    journal.append(0, harness::cellKey(reqs[0]), done.outcome);
+    ASSERT_TRUE(journal.compact(reqs));
+    auto closed = std::filesystem::file_size(journal.path());
+
+    // Appends after the tombstone are no-ops, both on the handle that
+    // compacted and on a fresh handle that merely observes the
+    // tombstone on disk.
+    journal.append(0, harness::cellKey(reqs[0]), done.outcome);
+    harness::MatrixJournal reopened(dir.path, key, reqs.size());
+    EXPECT_TRUE(reopened.complete());
+    reopened.append(0, harness::cellKey(reqs[0]), done.outcome);
+    EXPECT_EQ(std::filesystem::file_size(journal.path()), closed);
+
+    std::vector<std::optional<RunOutcome>> loaded =
+        reopened.load(reqs);
+    ASSERT_TRUE(loaded[0].has_value());
+    expectSameOutcome(*loaded[0], done.outcome);
+}
+
+TEST(MatrixJournal, CompactRefusesAnIncompleteMatrix)
+{
+    ScratchDir dir("journal_incomplete");
+    std::vector<RunRequest> reqs{benchRequest("pegwit"),
+                                 benchRequest("go")};
+    const std::string key = harness::matrixKey(reqs);
+
+    CellOutcome done = CellRunner(CellRunnerConfig{}).run(reqs[0]);
+    ASSERT_TRUE(done.status.ok());
+
+    harness::MatrixJournal journal(dir.path, key, reqs.size());
+    journal.append(0, harness::cellKey(reqs[0]), done.outcome);
+    EXPECT_FALSE(journal.compact(reqs)); // cell 1 still missing
+    EXPECT_FALSE(journal.complete());
+
+    // The half-done journal still loads what it has.
+    std::vector<std::optional<RunOutcome>> loaded = journal.load(reqs);
+    EXPECT_TRUE(loaded[0].has_value());
+    EXPECT_FALSE(loaded[1].has_value());
 }
 
 } // namespace
