@@ -5,10 +5,12 @@
  * simulated machine — how fast the trusted LUT decoder chews through
  * compressed blocks compared to the checked bit-serial reference, how
  * many instructions per second the 4-issue model simulates (driving the
- * functional core live vs. replaying the recorded trace), and the
+ * functional core live vs. replaying the recorded trace), the
  * wall-clock of a full experiment-matrix regeneration serial vs.
  * parallel and live vs. replay (the `runMatrix` engine, worker count
- * from CPS_THREADS).
+ * from CPS_THREADS), and the chunk-parallel single-run engine's
+ * thread scaling plus its speculative-mode accuracy versus warm-up
+ * length.
  *
  * Besides the human-readable table the bench writes BENCH_simperf.json
  * into the working directory so later changes can track the host-perf
@@ -18,6 +20,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -27,6 +30,7 @@
 #include "common/artifact_cache.hh"
 #include "common/table.hh"
 #include "common/threadpool.hh"
+#include "harness/chunked.hh"
 #include "harness/engine.hh"
 
 using namespace cps;
@@ -236,6 +240,80 @@ main()
     double replay_speedup =
         matrix_live_s / (matrix_replay_s > 0 ? matrix_replay_s : 1.0);
 
+    // --- 4. Chunk-parallel single run: throughput and accuracy --------
+    // Throughput: the same single run split into a fixed 8-chunk plan
+    // (so the plan never changes), speculative warm-up, at 1/2/4/8
+    // worker threads; the serial replay rate above is the baseline.
+    const u64 chunk_insns = (insns + 7) / 8;
+    auto chunkedRate = [&](unsigned threads) {
+        harness::ChunkOptions opt;
+        opt.chunkInsns = chunk_insns;
+        opt.threads = threads;
+        harness::runMachineChunked(go, native_cfg, insns, opt); // warm-up
+        double best = 0;
+        for (int rep = 0; rep < 3; ++rep) {
+            u64 simulated = 0;
+            auto start = Clock::now();
+            double elapsed = 0;
+            do {
+                RunOutcome out =
+                    harness::runMachineChunked(go, native_cfg, insns, opt);
+                simulated += out.result.instructions;
+                elapsed = secondsSince(start);
+            } while (elapsed < 0.2);
+            best =
+                std::max(best, static_cast<double>(simulated) / elapsed);
+        }
+        return best;
+    };
+    const unsigned chunk_threads[] = {1, 2, 4, 8};
+    double chunk_ips[4];
+    for (size_t i = 0; i < 4; ++i)
+        chunk_ips[i] = chunkedRate(chunk_threads[i]);
+    double chunk_speedup_8t =
+        chunk_ips[3] / (native_replay_ips > 0 ? native_replay_ips : 1.0);
+
+    // Accuracy: speculative boundaries are only warmed W entries deep,
+    // so the stitched stats drift from serial; measure the worst IPC
+    // and I-miss-rate deviation across all benchmarks and both
+    // pipelines as W grows.
+    struct ChunkAccuracy
+    {
+        u64 warmup;
+        double maxIpcDelta = 0;      // relative |ΔIPC| / IPC_serial
+        double maxMissRateDelta = 0; // absolute |Δ miss rate|
+    };
+    std::vector<ChunkAccuracy> accuracy = {{1024}, {4096}, {16384}};
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        for (const MachineConfig &base :
+             {baseline1Issue(),
+              baseline4Issue().withCodeModel(CodeModel::CodePack)}) {
+            RunOutcome serial = runMachineSerial(bench, base, insns);
+            double serial_ipc =
+                static_cast<double>(serial.result.instructions) /
+                static_cast<double>(serial.result.cycles);
+            for (ChunkAccuracy &acc : accuracy) {
+                harness::ChunkOptions opt;
+                opt.chunkInsns = chunk_insns;
+                opt.warmupInsns = acc.warmup;
+                opt.threads = workers;
+                RunOutcome chunked =
+                    harness::runMachineChunked(bench, base, insns, opt);
+                double ipc =
+                    static_cast<double>(chunked.result.instructions) /
+                    static_cast<double>(chunked.result.cycles);
+                acc.maxIpcDelta =
+                    std::max(acc.maxIpcDelta,
+                             std::abs(ipc - serial_ipc) / serial_ipc);
+                acc.maxMissRateDelta = std::max(
+                    acc.maxMissRateDelta,
+                    std::abs(chunked.icacheMissRate -
+                             serial.icacheMissRate));
+            }
+        }
+    }
+
     TextTable t;
     t.setTitle("Extension: host simulator performance "
                "(simulator wall-clock, not simulated cycles)");
@@ -283,6 +361,22 @@ main()
               strfmt("%.2f s", matrix_live_s)});
     t.addRow({strfmt("matrix, %u workers, trace replay", workers),
               strfmt("%.2f s (%.2fx)", matrix_replay_s, replay_speedup)});
+    for (size_t i = 0; i < 4; ++i) {
+        t.addRow({strfmt("4-issue chunked run, %u threads",
+                         chunk_threads[i]),
+                  strfmt("%s insns/s (%.2fx vs serial replay)",
+                         grouped(chunk_ips[i]).c_str(),
+                         chunk_ips[i] / (native_replay_ips > 0
+                                             ? native_replay_ips
+                                             : 1.0))});
+    }
+    for (const ChunkAccuracy &acc : accuracy) {
+        t.addRow({strfmt("chunked accuracy, W=%llu",
+                         static_cast<unsigned long long>(acc.warmup)),
+                  strfmt("max IPC delta %.3f%%, max I-miss-rate delta "
+                         "%.5f",
+                         acc.maxIpcDelta * 100.0, acc.maxMissRateDelta)});
+    }
     t.print();
 
     // --- JSON trajectory record ---------------------------------------
@@ -294,7 +388,7 @@ main()
     std::fprintf(
         f,
         "{\n"
-        "  \"schema\": 4,\n"
+        "  \"schema\": 5,\n"
         "  \"pregen\": {\n"
         "    \"cold_seconds\": %.4f,\n"
         "    \"warm_seconds\": %.4f,\n"
@@ -329,6 +423,22 @@ main()
         "    \"live_seconds\": %.3f,\n"
         "    \"replay_seconds\": %.3f,\n"
         "    \"replay_speedup\": %.3f\n"
+        "  },\n"
+        "  \"chunked\": {\n"
+        "    \"chunk_insns\": %llu,\n"
+        "    \"insns_per_sec_1t\": %.0f,\n"
+        "    \"insns_per_sec_2t\": %.0f,\n"
+        "    \"insns_per_sec_4t\": %.0f,\n"
+        "    \"insns_per_sec_8t\": %.0f,\n"
+        "    \"speedup_8t_vs_serial_replay\": %.3f,\n"
+        "    \"accuracy\": [\n"
+        "      {\"warmup\": %llu, \"max_ipc_delta\": %.6f, "
+        "\"max_missrate_delta\": %.6f},\n"
+        "      {\"warmup\": %llu, \"max_ipc_delta\": %.6f, "
+        "\"max_missrate_delta\": %.6f},\n"
+        "      {\"warmup\": %llu, \"max_ipc_delta\": %.6f, "
+        "\"max_missrate_delta\": %.6f}\n"
+        "    ]\n"
         "  }\n"
         "}\n",
         pregen_cold_s, pregen_warm_s, pregen_speedup,
@@ -339,8 +449,17 @@ main()
         reqs.size(),
         static_cast<unsigned long long>(insns), serial_s, parallel_s,
         workers, serial_s / (parallel_s > 0 ? parallel_s : 1.0),
-        matrix_live_s, matrix_replay_s, replay_speedup);
+        matrix_live_s, matrix_replay_s, replay_speedup,
+        static_cast<unsigned long long>(chunk_insns),
+        chunk_ips[0], chunk_ips[1], chunk_ips[2], chunk_ips[3],
+        chunk_speedup_8t,
+        static_cast<unsigned long long>(accuracy[0].warmup),
+        accuracy[0].maxIpcDelta, accuracy[0].maxMissRateDelta,
+        static_cast<unsigned long long>(accuracy[1].warmup),
+        accuracy[1].maxIpcDelta, accuracy[1].maxMissRateDelta,
+        static_cast<unsigned long long>(accuracy[2].warmup),
+        accuracy[2].maxIpcDelta, accuracy[2].maxMissRateDelta);
     std::fclose(f);
-    std::printf("\nWrote BENCH_simperf.json (schema 4).\n");
+    std::printf("\nWrote BENCH_simperf.json (schema 5).\n");
     return 0;
 }

@@ -1,0 +1,217 @@
+#include "chunked.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/threadpool.hh"
+
+namespace cps
+{
+namespace harness
+{
+
+namespace
+{
+
+u64
+envU64(const char *name, u64 dflt)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return dflt;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end && *end == '\0')
+        return static_cast<u64>(v);
+    cps_warn("ignoring malformed %s='%s'", name, env);
+    return dflt;
+}
+
+/**
+ * Retired-instruction count of the serial run the plan must
+ * partition: a complete trace ends with the program's halt, so the
+ * run stops at the shorter of the budget and the trace.
+ */
+u64
+runLength(const TraceBuffer &trace, u64 max_insns)
+{
+    return trace.complete() ? std::min<u64>(max_insns, trace.size())
+                            : max_insns;
+}
+
+} // namespace
+
+const ChunkOptions &
+ChunkOptions::fromEnv()
+{
+    static const ChunkOptions cached = [] {
+        ChunkOptions opt;
+        opt.chunkInsns = envU64("CPS_CHUNK_INSNS", 0);
+        opt.warmupInsns = envU64("CPS_CHUNK_WARMUP", opt.warmupInsns);
+        const char *exact = std::getenv("CPS_CHUNK_EXACT");
+        opt.exact = exact != nullptr && std::string(exact) != "0";
+        return opt;
+    }();
+    return cached;
+}
+
+std::vector<ChunkSpan>
+planChunks(u64 run_insns, u64 min_body, const ChunkOptions &opt)
+{
+    std::vector<ChunkSpan> plan;
+    if (run_insns == 0)
+        return plan;
+    if (min_body == 0)
+        min_body = 1;
+
+    unsigned threads = opt.threads ? opt.threads : defaultThreadCount();
+    u64 body = opt.chunkInsns;
+    if (body == 0)
+        body = (run_insns + threads - 1) / std::max(1u, threads);
+    // Fetch-ahead clamp: the OoO front end dispatches up to
+    // replayLookahead entries past its retire budget, so a body
+    // shorter than that would start inside the previous boundary's
+    // fetch-ahead window. Round short bodies up...
+    body = std::max(body, min_body);
+
+    u64 start = 0;
+    while (start < run_insns) {
+        u64 end = std::min(run_insns, start + body);
+        // ...and merge a short tail into its predecessor for the same
+        // reason.
+        if (end < run_insns && run_insns - end < min_body)
+            end = run_insns;
+        ChunkSpan s;
+        s.bodyStart = start;
+        s.end = end;
+        s.warmStart = opt.exact ? 0
+                      : start > opt.warmupInsns ? start - opt.warmupInsns
+                                                : 0;
+        plan.push_back(s);
+        start = end;
+    }
+    return plan;
+}
+
+bool
+chunkableRun(const BenchProgram &bench, const MachineConfig &cfg,
+             u64 max_insns, const ChunkOptions &opt)
+{
+    if (!opt.enabled() || !Suite::replayEnabled() || !bench.trace)
+        return false;
+    const u64 lookahead = replayLookahead(cfg);
+    if (!bench.trace->covers(max_insns, lookahead))
+        return false;
+    u64 n = runLength(*bench.trace, max_insns);
+    return planChunks(n, lookahead + 1, opt).size() > 1;
+}
+
+RunOutcome
+runMachineChunked(const BenchProgram &bench, const MachineConfig &cfg,
+                  u64 max_insns, const ChunkOptions &opt)
+{
+    // Short traces, disabled replay, or a single-chunk plan: the
+    // serial path is the result, not an approximation of it.
+    if (!chunkableRun(bench, cfg, max_insns, opt))
+        return runMachineSerial(bench, cfg, max_insns, ReplayMode::Auto);
+
+    const TraceBuffer &trace = *bench.trace;
+    const u64 lookahead = replayLookahead(cfg);
+    const u64 n = runLength(trace, max_insns);
+    const std::vector<ChunkSpan> plan =
+        planChunks(n, lookahead + 1, opt);
+
+    // Each chunk gets a fresh, self-contained Machine; slots are
+    // pre-sized and indexed by chunk, so completion order (and thread
+    // count) cannot affect the stitched result.
+    struct Slot
+    {
+        ChunkRunResult chunk;
+        std::vector<std::pair<std::string, u64>> finalStats;
+    };
+    std::vector<Slot> slots(plan.size());
+    auto runOne = [&](size_t i) {
+        const ChunkSpan &s = plan[i];
+        Machine m(bench.program, cfg,
+                  cfg.codeModel == CodeModel::Native ? nullptr
+                                                     : &bench.image,
+                  &trace);
+        slots[i].chunk =
+            m.runChunk({s.warmStart, s.warmupInsns(), s.bodyInsns()});
+        slots[i].finalStats = m.stats().snapshot();
+    };
+    unsigned threads = opt.threads ? opt.threads : defaultThreadCount();
+    if (threads <= 1 || plan.size() <= 1) {
+        for (size_t i = 0; i < plan.size(); ++i)
+            runOne(i);
+    } else {
+        ThreadPool pool(static_cast<unsigned>(
+            std::min<size_t>(threads, plan.size())));
+        pool.parallelFor(plan.size(), runOne);
+    }
+
+    // Stitch in chunk order. Every total is a sum of per-chunk body
+    // deltas (final minus gate snapshot); in exact mode each gate
+    // snapshot equals the serial state at that boundary, so the sums
+    // telescope to the serial totals — byte-identical by construction.
+    std::map<std::string, u64> totals;
+    RunResult res;
+    for (const Slot &slot : slots) {
+        res.instructions += slot.chunk.body.instructions;
+        res.cycles += slot.chunk.body.cycles;
+        if (res.status == RunStatus::Ok &&
+            slot.chunk.body.status != RunStatus::Ok) {
+            res.status = slot.chunk.body.status;
+            res.statusDetail = slot.chunk.body.statusDetail;
+        }
+        // Both snapshots come from the same StatSet (sorted by name);
+        // names missing from the gate snapshot count from zero.
+        auto gate = slot.chunk.statsAtGate.begin();
+        const auto gate_end = slot.chunk.statsAtGate.end();
+        for (const auto &kv : slot.finalStats) {
+            while (gate != gate_end && gate->first < kv.first)
+                ++gate;
+            u64 at_gate =
+                gate != gate_end && gate->first == kv.first ? gate->second
+                                                            : 0;
+            totals[kv.first] += kv.second - at_gate;
+        }
+    }
+    res.programExited = slots.back().chunk.body.programExited;
+
+    // The pipelines set their insn/cycle counters to whole-window
+    // values at the end of each chunk; the run's numbers are the
+    // stitched body sums.
+    totals["pipeline.insns"] = res.instructions;
+    totals["pipeline.cycles"] = res.cycles;
+
+    auto value = [&](const char *name) {
+        auto it = totals.find(name);
+        return it == totals.end() ? u64{0} : it->second;
+    };
+
+    RunOutcome out;
+    out.result = std::move(res);
+    u64 line_accesses = value("icache.line_accesses");
+    out.icacheMissRate =
+        line_accesses == 0
+            ? 0.0
+            : static_cast<double>(value("icache.misses")) /
+                  static_cast<double>(line_accesses);
+    u64 lookups = value("decomp.index_lookups");
+    out.indexCacheMissRate =
+        lookups == 0
+            ? 0.0
+            : static_cast<double>(lookups - value("decomp.index_hits")) /
+                  static_cast<double>(lookups);
+    out.icacheMisses = value("icache.misses");
+    out.bufferHits = value("decomp.buffer_hits");
+    out.missLatencyTotal = value("icache.miss_latency_total");
+    return out;
+}
+
+} // namespace harness
+} // namespace cps

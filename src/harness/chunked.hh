@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Chunk-parallel simulation of a single run (speculative trace
+ * chunking).
+ *
+ * The matrix engine parallelizes *across* cells; a single long run was
+ * still strictly serial. This component parallelizes *within* one run,
+ * transposing rapidgzip's chunked-decode architecture to simulation:
+ * the recorded trace is split into N chunk bodies, each body is
+ * simulated on its own thread-pool worker by a fresh Machine that
+ * first replays a warm-up prefix of W preceding trace entries (caches,
+ * predictors, and decompressor state heat up with statistics gated
+ * off), and the per-chunk body deltas — instructions, cycles, and
+ * every StatSet counter — are stitched in chunk order into one
+ * RunOutcome.
+ *
+ * Two modes:
+ *
+ *  - Exact (`CPS_CHUNK_EXACT=1`): warm-up = the full preceding prefix.
+ *    Every chunk's gate snapshot then equals the state a serial run
+ *    has at that boundary, so the stitched sums telescope to the
+ *    serial totals — byte-identical tables by construction, at any
+ *    thread count (enforced by test_chunked_run and the
+ *    table_determinism eight-way diff). Total simulated work is
+ *    O(N·chunks/2), so exact mode trades throughput for a
+ *    parallelism-tolerant correctness oracle.
+ *
+ *  - Speculative (`CPS_CHUNK_INSNS` / `CPS_CHUNK_WARMUP`): warm-up is
+ *    a bounded W-entry prefix, SimPoint-style. Total work is
+ *    N + chunks·W, so wall clock drops nearly linearly with workers;
+ *    stitched stats differ from serial only by cold-boundary effects,
+ *    which shrink as W grows (bench_ext_simperf reports the IPC and
+ *    miss-rate deltas versus W). Deterministic at fixed knobs for any
+ *    thread count: chunk boundaries depend only on the plan, never on
+ *    scheduling.
+ *
+ * Runs that cannot chunk — replay disabled, no/short trace, or a plan
+ * that collapses to one chunk — fall back to the serial path and are
+ * indistinguishable from it.
+ */
+
+#ifndef CPS_HARNESS_CHUNKED_HH
+#define CPS_HARNESS_CHUNKED_HH
+
+#include <vector>
+
+#include "suite.hh"
+
+namespace cps
+{
+namespace harness
+{
+
+/** Chunk-parallel run policy (see CPS_CHUNK_* knobs in the README). */
+struct ChunkOptions
+{
+    /** Target chunk-body length in instructions; 0 = split the run
+     *  evenly across the workers. */
+    u64 chunkInsns = 0;
+    /** Speculative warm-up length in trace entries ahead of each chunk
+     *  body (ignored in exact mode). */
+    u64 warmupInsns = 4096;
+    /** Warm up over the full preceding prefix: byte-identical to
+     *  serial by construction. */
+    bool exact = false;
+    /** Worker threads for the per-chunk fan-out; 0 = defaultThreadCount. */
+    unsigned threads = 0;
+
+    /** True when any knob asks for chunked execution. */
+    bool enabled() const { return exact || chunkInsns > 0; }
+
+    /** The process-wide policy: CPS_CHUNK_INSNS, CPS_CHUNK_WARMUP,
+     *  CPS_CHUNK_EXACT, read once. Disabled unless a knob is set. */
+    static const ChunkOptions &fromEnv();
+};
+
+/** One chunk of a planned run: trace-entry indices, half-open. */
+struct ChunkSpan
+{
+    u64 warmStart = 0; ///< replay starts here (cold machine state)
+    u64 bodyStart = 0; ///< statistics gate: counting starts here
+    u64 end = 0;       ///< replay (and counting) stop here
+
+    u64 warmupInsns() const { return bodyStart - warmStart; }
+    u64 bodyInsns() const { return end - bodyStart; }
+};
+
+/**
+ * Splits a run of @p run_insns retired instructions into chunk spans
+ * under @p opt. Bodies partition [0, run_insns); each body is at least
+ * @p min_body instructions long (the OoO fetch-ahead clamp: a chunk
+ * must never start inside the previous boundary's replayLookahead
+ * window, so short tails merge into their predecessor). Returns a
+ * single full-range span when the run is too short to split.
+ */
+std::vector<ChunkSpan> planChunks(u64 run_insns, u64 min_body,
+                                  const ChunkOptions &opt);
+
+/**
+ * True when runMachineChunked would actually chunk this run: replay
+ * enabled, the trace covers the run under the config's lookahead, and
+ * the plan yields more than one chunk.
+ */
+bool chunkableRun(const BenchProgram &bench, const MachineConfig &cfg,
+                  u64 max_insns, const ChunkOptions &opt);
+
+/**
+ * Runs @p bench under @p cfg for @p max_insns instructions by
+ * simulating trace chunks in parallel and stitching the per-chunk
+ * contributions (see file comment). Falls back to the serial
+ * runMachineSerial path when the run cannot chunk.
+ */
+RunOutcome runMachineChunked(const BenchProgram &bench,
+                             const MachineConfig &cfg, u64 max_insns,
+                             const ChunkOptions &opt);
+
+} // namespace harness
+} // namespace cps
+
+#endif // CPS_HARNESS_CHUNKED_HH

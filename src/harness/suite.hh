@@ -147,9 +147,17 @@ enum class ReplayMode
 
 /** Builds a machine for @p bench under @p cfg and runs it. With a
  *  recorded trace that covers the run (and replay enabled), the timing
- *  models replay it — same tables, one functional execution total. */
+ *  models replay it — same tables, one functional execution total.
+ *  When the CPS_CHUNK_* knobs enable chunk-parallel execution (and
+ *  @p mode is Auto), dispatches to harness::runMachineChunked. */
 RunOutcome runMachine(const BenchProgram &bench, const MachineConfig &cfg,
                       u64 max_insns, ReplayMode mode = ReplayMode::Auto);
+
+/** The single-machine path runMachine dispatches to: one Machine, one
+ *  serial run, no chunking regardless of the CPS_CHUNK_* knobs. */
+RunOutcome runMachineSerial(const BenchProgram &bench,
+                            const MachineConfig &cfg, u64 max_insns,
+                            ReplayMode mode = ReplayMode::Auto);
 
 /** Convenience: cycles(native) / cycles(model) on identical inputs. */
 inline double

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Chunk-parallel single-run engine: exact mode must be byte-identical
+ * to the serial path (RunOutcome integers AND derived doubles) for
+ * every benchmark, pipeline, and code model at any thread count;
+ * speculative mode must be deterministic across thread counts at fixed
+ * knobs; runs that cannot chunk must fall back to serial. Also covers
+ * the chunk planner, including the OoO fetch-ahead clamp (a chunk body
+ * must never start inside the previous boundary's replayLookahead
+ * window).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/chunked.hh"
+#include "harness/suite.hh"
+
+namespace cps
+{
+namespace
+{
+
+using harness::ChunkOptions;
+using harness::ChunkSpan;
+using harness::chunkableRun;
+using harness::planChunks;
+using harness::runMachineChunked;
+
+constexpr u64 kInsns = 20000;
+
+ChunkOptions
+exactOpts(u64 chunk_insns, unsigned threads)
+{
+    ChunkOptions opt;
+    opt.exact = true;
+    opt.chunkInsns = chunk_insns;
+    opt.threads = threads;
+    return opt;
+}
+
+ChunkOptions
+specOpts(u64 chunk_insns, u64 warmup, unsigned threads)
+{
+    ChunkOptions opt;
+    opt.chunkInsns = chunk_insns;
+    opt.warmupInsns = warmup;
+    opt.threads = threads;
+    return opt;
+}
+
+/** Byte-identity across every field a table can print: the derived
+ *  doubles are recomputed from the same stitched integers with the
+ *  same formulas, so even they must compare bit-equal. */
+void
+expectSameOutcome(const RunOutcome &a, const RunOutcome &b,
+                  const std::string &what)
+{
+    EXPECT_EQ(a.result.instructions, b.result.instructions) << what;
+    EXPECT_EQ(a.result.cycles, b.result.cycles) << what;
+    EXPECT_EQ(a.result.programExited, b.result.programExited) << what;
+    EXPECT_EQ(a.result.status, b.result.status) << what;
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses) << what;
+    EXPECT_EQ(a.bufferHits, b.bufferHits) << what;
+    EXPECT_EQ(a.missLatencyTotal, b.missLatencyTotal) << what;
+    EXPECT_EQ(a.icacheMissRate, b.icacheMissRate) << what;
+    EXPECT_EQ(a.indexCacheMissRate, b.indexCacheMissRate) << what;
+}
+
+// ---------------------------------------------------------------- plan
+
+TEST(ChunkPlan, EmptyRunPlansNothing)
+{
+    EXPECT_TRUE(planChunks(0, 1, exactOpts(100, 4)).empty());
+}
+
+TEST(ChunkPlan, BodiesPartitionTheRun)
+{
+    ChunkOptions opt = specOpts(250, 100, 4);
+    std::vector<ChunkSpan> plan = planChunks(1000, 1, opt);
+    ASSERT_EQ(plan.size(), 4u);
+    u64 expect_start = 0;
+    for (const ChunkSpan &s : plan) {
+        EXPECT_EQ(s.bodyStart, expect_start);
+        expect_start = s.end;
+    }
+    EXPECT_EQ(plan.back().end, 1000u);
+}
+
+TEST(ChunkPlan, ZeroChunkInsnsSplitsEvenlyAcrossThreads)
+{
+    ChunkOptions opt = specOpts(0, 0, 4);
+    std::vector<ChunkSpan> plan = planChunks(1000, 1, opt);
+    ASSERT_EQ(plan.size(), 4u);
+    for (const ChunkSpan &s : plan)
+        EXPECT_EQ(s.bodyInsns(), 250u);
+}
+
+TEST(ChunkPlan, FetchAheadClampRoundsShortBodiesUp)
+{
+    // A requested body shorter than the lookahead window would start
+    // chunks inside the previous boundary's fetch-ahead region.
+    std::vector<ChunkSpan> plan = planChunks(200, 66, specOpts(10, 0, 4));
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan[0].bodyInsns(), 66u);
+    EXPECT_EQ(plan[1].bodyInsns(), 66u);
+    // The 2-instruction tail merged into its predecessor.
+    EXPECT_EQ(plan[2].bodyInsns(), 68u);
+    EXPECT_EQ(plan[2].end, 200u);
+}
+
+TEST(ChunkPlan, ShortRunCollapsesToOneChunk)
+{
+    std::vector<ChunkSpan> plan = planChunks(50, 66, exactOpts(10, 8));
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].bodyStart, 0u);
+    EXPECT_EQ(plan[0].end, 50u);
+}
+
+TEST(ChunkPlan, ExactModeWarmsOverTheFullPrefix)
+{
+    std::vector<ChunkSpan> plan = planChunks(1000, 1, exactOpts(250, 4));
+    ASSERT_EQ(plan.size(), 4u);
+    for (const ChunkSpan &s : plan) {
+        EXPECT_EQ(s.warmStart, 0u);
+        EXPECT_EQ(s.warmupInsns(), s.bodyStart);
+    }
+}
+
+TEST(ChunkPlan, SpeculativeWarmupIsBoundedAndClampedAtTraceStart)
+{
+    std::vector<ChunkSpan> plan = planChunks(1000, 1, specOpts(250, 100, 4));
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan[0].warmupInsns(), 0u); // nothing precedes chunk 0
+    EXPECT_EQ(plan[1].warmStart, 150u);
+    EXPECT_EQ(plan[1].warmupInsns(), 100u);
+
+    // W larger than any prefix: every warm-up clamps to the trace start,
+    // which is exact-mode warm-up by another name.
+    std::vector<ChunkSpan> big = planChunks(1000, 1, specOpts(250, 5000, 4));
+    for (const ChunkSpan &s : big)
+        EXPECT_EQ(s.warmStart, 0u);
+}
+
+// --------------------------------------------------------- exact mode
+
+TEST(ChunkedRun, ExactModeIsByteIdenticalToSerialEverywhere)
+{
+    Suite &suite = Suite::instance();
+    suite.pregenerate();
+    const MachineConfig configs[] = {
+        baseline1Issue(),
+        baseline1Issue().withCodeModel(CodeModel::CodePack),
+        baseline4Issue(),
+        baseline4Issue().withCodeModel(CodeModel::CodePack),
+    };
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        ASSERT_TRUE(bench.trace) << name;
+        for (const MachineConfig &cfg : configs) {
+            RunOutcome serial = runMachineSerial(bench, cfg, kInsns);
+            for (unsigned threads : {1u, 2u, 8u}) {
+                ChunkOptions opt = exactOpts(4000, threads);
+                ASSERT_TRUE(chunkableRun(bench, cfg, kInsns, opt));
+                RunOutcome chunked =
+                    runMachineChunked(bench, cfg, kInsns, opt);
+                expectSameOutcome(serial, chunked,
+                                  name + " / " + cfg.name + " / " +
+                                      std::to_string(threads) + " threads");
+            }
+        }
+    }
+}
+
+TEST(ChunkedRun, OoOBoundaryInsideRuuWindowStillMatchesSerial)
+{
+    // Regression for the fetch-ahead clamp: request chunk bodies barely
+    // above the 4-issue lookahead (ruuSize + 1 = 65), so every boundary
+    // lands where the previous chunk's front end is still fetching.
+    // Exact mode must hold regardless.
+    const BenchProgram &bench = Suite::instance().get("go");
+    const MachineConfig cfg = baseline4Issue();
+    const u64 insns = 2000;
+    const u64 lookahead = replayLookahead(cfg);
+    ASSERT_EQ(lookahead, 65u);
+
+    RunOutcome serial = runMachineSerial(bench, cfg, insns);
+    ChunkOptions opt = exactOpts(lookahead + 5, 8);
+    std::vector<ChunkSpan> plan = planChunks(insns, lookahead + 1, opt);
+    ASSERT_GT(plan.size(), 20u);
+    RunOutcome chunked = runMachineChunked(bench, cfg, insns, opt);
+    expectSameOutcome(serial, chunked, "mid-RUU boundaries");
+
+    // And a request *below* the clamp gets rounded up, not honoured.
+    std::vector<ChunkSpan> clamped =
+        planChunks(insns, lookahead + 1, exactOpts(10, 8));
+    for (const ChunkSpan &s : clamped)
+        EXPECT_GE(s.bodyInsns(), lookahead + 1);
+}
+
+// ------------------------------------------------- speculative mode
+
+TEST(ChunkedRun, SpeculativeModeIsDeterministicAcrossThreadCounts)
+{
+    const BenchProgram &bench = Suite::instance().get("cc1");
+    const MachineConfig cfg = baseline4Issue().withCodeModel(
+        CodeModel::CodePack);
+    RunOutcome one = runMachineChunked(bench, cfg, kInsns,
+                                       specOpts(3000, 1000, 1));
+    for (unsigned threads : {2u, 8u}) {
+        RunOutcome more = runMachineChunked(bench, cfg, kInsns,
+                                            specOpts(3000, 1000, threads));
+        expectSameOutcome(one, more,
+                          std::to_string(threads) + " threads");
+    }
+    // The stitched body sums must cover the whole run even when the
+    // boundary state is approximate.
+    EXPECT_EQ(one.result.instructions, kInsns);
+}
+
+TEST(ChunkedRun, ZeroWarmupRunsColdButComplete)
+{
+    const BenchProgram &bench = Suite::instance().get("pegwit");
+    const MachineConfig cfg = baseline1Issue();
+    RunOutcome serial = runMachineSerial(bench, cfg, kInsns);
+    RunOutcome cold = runMachineChunked(bench, cfg, kInsns,
+                                        specOpts(4000, 0, 8));
+    EXPECT_EQ(cold.result.instructions, serial.result.instructions);
+    EXPECT_TRUE(cold.result.status == RunStatus::Ok);
+    // Cold boundaries can only add misses relative to warmed serial
+    // state, never invent hits.
+    EXPECT_GE(cold.icacheMisses, serial.icacheMisses);
+}
+
+TEST(ChunkedRun, WarmupLongerThanEveryPrefixEqualsExactMode)
+{
+    // W >= any chunk's bodyStart clamps every warm-up to the trace
+    // start — the speculative path degenerates to exact and must be
+    // byte-identical to serial.
+    const BenchProgram &bench = Suite::instance().get("perl");
+    const MachineConfig cfg = baseline4Issue();
+    RunOutcome serial = runMachineSerial(bench, cfg, kInsns);
+    RunOutcome spec = runMachineChunked(bench, cfg, kInsns,
+                                        specOpts(4000, kInsns, 8));
+    expectSameOutcome(serial, spec, "degenerate speculative");
+}
+
+// ------------------------------------------------------- fallbacks
+
+TEST(ChunkedRun, ShortTraceFallsBackToSerialPath)
+{
+    Suite &suite = Suite::instance();
+    const BenchProgram &full = suite.get("go");
+
+    BenchProgram clone;
+    clone.profile = full.profile;
+    clone.program = full.program;
+    clone.image = full.image;
+    clone.trace = std::make_unique<const TraceBuffer>(
+        recordTrace(clone.program, 1000));
+
+    MachineConfig cfg = baseline4Issue();
+    ChunkOptions opt = exactOpts(200, 8);
+    ASSERT_FALSE(chunkableRun(clone, cfg, kInsns, opt));
+    RunOutcome fallback = runMachineChunked(clone, cfg, kInsns, opt);
+    RunOutcome live = runMachineSerial(full, cfg, kInsns,
+                                       ReplayMode::ForceLive);
+    expectSameOutcome(fallback, live, "short-trace fallback");
+}
+
+TEST(ChunkedRun, SingleChunkPlanFallsBackToSerialPath)
+{
+    const BenchProgram &bench = Suite::instance().get("pegwit");
+    const MachineConfig cfg = baseline1Issue();
+    // One giant chunk: nothing to parallelize, serial path verbatim.
+    ChunkOptions opt = exactOpts(kInsns * 2, 8);
+    EXPECT_FALSE(chunkableRun(bench, cfg, kInsns, opt));
+    RunOutcome serial = runMachineSerial(bench, cfg, kInsns);
+    RunOutcome chunked = runMachineChunked(bench, cfg, kInsns, opt);
+    expectSameOutcome(serial, chunked, "single-chunk fallback");
+}
+
+TEST(ChunkedRun, DisabledOptionsNeverChunk)
+{
+    const BenchProgram &bench = Suite::instance().get("pegwit");
+    ChunkOptions opt; // no knob set
+    EXPECT_FALSE(opt.enabled());
+    EXPECT_FALSE(chunkableRun(bench, baseline1Issue(), kInsns, opt));
+}
+
+} // namespace
+} // namespace cps
