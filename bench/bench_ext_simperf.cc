@@ -28,6 +28,7 @@
 
 #include "codepack/decompressor.hh"
 #include "common/artifact_cache.hh"
+#include "common/simd.hh"
 #include "common/table.hh"
 #include "common/threadpool.hh"
 #include "harness/chunked.hh"
@@ -39,6 +40,13 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+/**
+ * BENCH_simperf.json schema version, bumped whenever a key is added,
+ * removed, or changes meaning. tests/check_simperf_schema.py pins the
+ * emitted document against this number and its required keys.
+ */
+constexpr int kSchema = 6;
 
 double
 secondsSince(Clock::time_point start)
@@ -145,7 +153,6 @@ main()
             bench.image.bytes.size() > largest->image.bytes.size())
             largest = &bench;
     }
-    codepack::Decompressor decomp(largest->image);
     u32 blocks = largest->image.numBlocks();
 
     // --- 1b. Parallel block compression: serial vs CPS_THREADS workers
@@ -153,9 +160,10 @@ main()
     comp_words.reserve(largest->program.textWords());
     for (size_t i = 0; i < largest->program.textWords(); ++i)
         comp_words.push_back(largest->program.word(i));
-    auto timeCompress = [&](unsigned threads) {
+    auto timeCompress = [&](unsigned threads, bool simd) {
         codepack::CompressorConfig cfg;
         cfg.threads = threads;
+        cfg.simd = simd;
         double best = 1e300;
         for (int rep = 0; rep < 3; ++rep) {
             auto start = Clock::now();
@@ -167,22 +175,61 @@ main()
         return best;
     };
     unsigned workers = defaultThreadCount();
-    double compress_serial_s = timeCompress(1);
-    double compress_parallel_s = timeCompress(workers);
+    double compress_serial_s = timeCompress(1, true);
+    double compress_parallel_s = timeCompress(workers, true);
+    double compress_scalar_s = timeCompress(1, false);
     double compress_speedup =
         compress_serial_s /
         (compress_parallel_s > 0 ? compress_parallel_s : 1.0);
+    double simd_speedup =
+        compress_scalar_s /
+        (compress_serial_s > 0 ? compress_serial_s : 1.0);
 
-    double lut_bps = blocksPerSecond(blocks, [&](u32 b) {
-        codepack::DecodedBlock blk = decomp.decompressFlatBlock(b);
-        asm volatile("" : : "r"(blk.words[0]) : "memory");
-    });
-    double ref_bps = blocksPerSecond(blocks, [&](u32 b) {
-        auto blk = decomp.tryDecompressBlock(
-            b / codepack::kBlocksPerGroup, b % codepack::kBlocksPerGroup);
-        asm volatile("" : : "r"(blk.value().words[0]) : "memory");
-    });
-    double decode_speedup = lut_bps / ref_bps;
+    // --- 1c. The decode kernel ladder, per block -----------------------
+    // Single-block latency for each rung, plus the batched entry point
+    // (decompressBlocks interleaves up to four independent block
+    // streams per loop) — the batched ns/block is the headline number.
+    auto kernelBps = [&](codepack::DecodeKernel k) {
+        codepack::Decompressor d(largest->image, k);
+        return blocksPerSecond(blocks, [&](u32 b) {
+            codepack::DecodedBlock blk = d.decompressFlatBlock(b);
+            asm volatile("" : : "r"(blk.words[0]) : "memory");
+        });
+    };
+    double checked_bps = kernelBps(codepack::DecodeKernel::Checked);
+    double lut_bps = kernelBps(codepack::DecodeKernel::Lut);
+    double lut2_bps = kernelBps(codepack::DecodeKernel::Lut2);
+    codepack::Decompressor batch_decomp(largest->image,
+                                        codepack::DecodeKernel::Lut2);
+    std::vector<codepack::DecodedBlock> batch_out(blocks);
+    auto batchedBps = [&] {
+        // One decompressBlocks sweep per window pass; normalize the
+        // best-window convention by timing whole sweeps directly.
+        for (int warm = 0; warm < 2; ++warm)
+            batch_decomp.decompressBlocks(0, blocks, batch_out.data());
+        double best = 0;
+        for (int rep = 0; rep < 5; ++rep) {
+            u64 decoded = 0;
+            auto start = Clock::now();
+            double elapsed = 0;
+            do {
+                batch_decomp.decompressBlocks(0, blocks,
+                                              batch_out.data());
+                asm volatile("" : : "r"(batch_out.data()) : "memory");
+                decoded += blocks;
+                elapsed = secondsSince(start);
+            } while (elapsed < 0.2);
+            best =
+                std::max(best, static_cast<double>(decoded) / elapsed);
+        }
+        return best;
+    };
+    double batched_bps = batchedBps();
+    double decode_speedup =
+        batched_bps / (checked_bps > 0 ? checked_bps : 1.0);
+    auto nsPerBlock = [](double bps) {
+        return bps > 0 ? 1e9 / bps : 0.0;
+    };
 
     // --- 2. Simulated instructions per second, live vs replay ---------
     const BenchProgram &go = suite.get("go");
@@ -328,11 +375,28 @@ main()
     t.addRow({strfmt("CodePack compress, %u workers", workers),
               strfmt("%.4f s (%.2fx)", compress_parallel_s,
                      compress_speedup)});
-    t.addRow({"trusted LUT decode",
-              strfmt("%s blocks/s", grouped(lut_bps).c_str())});
-    t.addRow({"checked bit-serial decode",
-              strfmt("%s blocks/s", grouped(ref_bps).c_str())});
-    t.addRow({"LUT speedup over checked", strfmt("%.2fx", decode_speedup)});
+    t.addRow({strfmt("CodePack compress, scalar loops (no %s)",
+                     simd::kBackend),
+              strfmt("%.4f s (simd %.2fx)", compress_scalar_s,
+                     simd_speedup)});
+    t.addRow({"decode, checked bit-serial",
+              strfmt("%s blocks/s (%.1f ns/block)",
+                     grouped(checked_bps).c_str(),
+                     nsPerBlock(checked_bps))});
+    t.addRow({"decode, lut kernel",
+              strfmt("%s blocks/s (%.1f ns/block)",
+                     grouped(lut_bps).c_str(), nsPerBlock(lut_bps))});
+    t.addRow({"decode, lut2 kernel",
+              strfmt("%s blocks/s (%.1f ns/block)",
+                     grouped(lut2_bps).c_str(), nsPerBlock(lut2_bps))});
+    t.addRow({"decode, lut2 batched (headline)",
+              strfmt("%s blocks/s (%.1f ns/block)",
+                     grouped(batched_bps).c_str(),
+                     nsPerBlock(batched_bps))});
+    t.addRow({"batched speedup over checked",
+              strfmt("%.2fx (default kernel: %s)", decode_speedup,
+                     codepack::decodeKernelName(
+                         codepack::defaultDecodeKernel()))});
     t.addRow({"4-issue native simulation, live",
               strfmt("%s insns/s", grouped(native_ips).c_str())});
     t.addRow({"4-issue native simulation, replay",
@@ -388,7 +452,7 @@ main()
     std::fprintf(
         f,
         "{\n"
-        "  \"schema\": 5,\n"
+        "  \"schema\": %d,\n"
         "  \"pregen\": {\n"
         "    \"cold_seconds\": %.4f,\n"
         "    \"warm_seconds\": %.4f,\n"
@@ -397,13 +461,23 @@ main()
         "  \"compress\": {\n"
         "    \"serial_seconds\": %.5f,\n"
         "    \"parallel_seconds\": %.5f,\n"
+        "    \"scalar_seconds\": %.5f,\n"
         "    \"workers\": %u,\n"
-        "    \"speedup\": %.3f\n"
+        "    \"speedup\": %.3f,\n"
+        "    \"simd_backend\": \"%s\",\n"
+        "    \"simd_speedup\": %.3f\n"
         "  },\n"
         "  \"decode\": {\n"
-        "    \"lut_blocks_per_sec\": %.0f,\n"
+        "    \"kernel_default\": \"%s\",\n"
         "    \"checked_blocks_per_sec\": %.0f,\n"
-        "    \"lut_speedup\": %.3f\n"
+        "    \"lut_blocks_per_sec\": %.0f,\n"
+        "    \"lut2_blocks_per_sec\": %.0f,\n"
+        "    \"batched_blocks_per_sec\": %.0f,\n"
+        "    \"checked_ns_per_block\": %.1f,\n"
+        "    \"lut_ns_per_block\": %.1f,\n"
+        "    \"lut2_ns_per_block\": %.1f,\n"
+        "    \"batched_ns_per_block\": %.1f,\n"
+        "    \"batched_speedup\": %.3f\n"
         "  },\n"
         "  \"simulation\": {\n"
         "    \"native_insns_per_sec\": %.0f,\n"
@@ -441,10 +515,14 @@ main()
         "    ]\n"
         "  }\n"
         "}\n",
-        pregen_cold_s, pregen_warm_s, pregen_speedup,
-        compress_serial_s, compress_parallel_s, workers,
-        compress_speedup,
-        lut_bps, ref_bps, decode_speedup, native_ips, native_replay_ips,
+        kSchema, pregen_cold_s, pregen_warm_s, pregen_speedup,
+        compress_serial_s, compress_parallel_s, compress_scalar_s,
+        workers, compress_speedup, simd::kBackend, simd_speedup,
+        codepack::decodeKernelName(codepack::defaultDecodeKernel()),
+        checked_bps, lut_bps, lut2_bps, batched_bps,
+        nsPerBlock(checked_bps), nsPerBlock(lut_bps),
+        nsPerBlock(lut2_bps), nsPerBlock(batched_bps),
+        decode_speedup, native_ips, native_replay_ips,
         cp_ips, cp_replay_ips, inorder_ips, inorder_replay_ips,
         reqs.size(),
         static_cast<unsigned long long>(insns), serial_s, parallel_s,
@@ -460,6 +538,6 @@ main()
         static_cast<unsigned long long>(accuracy[2].warmup),
         accuracy[2].maxIpcDelta, accuracy[2].maxMissRateDelta);
     std::fclose(f);
-    std::printf("\nWrote BENCH_simperf.json (schema 5).\n");
+    std::printf("\nWrote BENCH_simperf.json (schema %d).\n", kSchema);
     return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/bitstream.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "common/threadpool.hh"
 #include "isa/isa.hh"
 
@@ -31,19 +32,29 @@ struct BlockBits
 
 BlockBits
 compressBlock(const u32 *insns, const Dictionary &high,
-              const Dictionary &low, bool allow_raw_blocks)
+              const Dictionary &low, bool allow_raw_blocks,
+              bool use_simd)
 {
     BlockBits out;
     BitWriter bw;
     // A useful block never exceeds the raw escape size by much; one
     // upfront reservation keeps the put() loop allocation-free.
     bw.reserve(kRawBlockBytes + 8);
-    for (unsigned i = 0; i < kBlockInsns; ++i) {
-        u16 hi = static_cast<u16>(insns[i] >> 16);
-        u16 lo = static_cast<u16>(insns[i] & 0xffff);
 
-        HalfEncoding he = high.encode(hi);
-        high.write(bw, hi);
+    // The match loop: deinterleave the block's halfwords into dense
+    // lanes, then resolve each encoding once — by vectorized
+    // dictionary match (membership bitmap + CAM-style scan) on the
+    // simd path, by the reference hash lookup on the scalar path —
+    // and reuse it for both the emit and the Table 4 accounting.
+    u16 his[kBlockInsns], los[kBlockInsns];
+    if (use_simd)
+        simd::splitHalves(insns, kBlockInsns, his, los);
+    else
+        simd::scalar::splitHalves(insns, kBlockInsns, his, los);
+    for (unsigned i = 0; i < kBlockInsns; ++i) {
+        HalfEncoding he = use_simd ? high.matchEncode(his[i])
+                                   : high.encode(his[i]);
+        Dictionary::writeEncoded(bw, he, his[i]);
         if (he.raw) {
             out.rawTagBits += he.tagBits;
             out.rawBits += kRawLiteralBits;
@@ -52,8 +63,9 @@ compressBlock(const u32 *insns, const Dictionary &high,
             out.dictIndexBits += he.indexBits;
         }
 
-        HalfEncoding le = low.encode(lo);
-        low.write(bw, lo);
+        HalfEncoding le = use_simd ? low.matchEncode(los[i])
+                                   : low.encode(los[i]);
+        Dictionary::writeEncoded(bw, le, los[i]);
         if (le.raw) {
             out.rawTagBits += le.tagBits;
             out.rawBits += kRawLiteralBits;
@@ -91,10 +103,17 @@ compressBlock(const u32 *insns, const Dictionary &high,
  */
 void
 histogramHalves(const std::vector<u32> &words, ThreadPool *pool,
-                std::vector<u64> &hi, std::vector<u64> &lo)
+                bool use_simd, std::vector<u64> &hi, std::vector<u64> &lo)
 {
     hi.assign(65536, 0);
     lo.assign(65536, 0);
+    auto accumulate = [use_simd](const u32 *w, size_t n, u64 *h,
+                                 u64 *l) {
+        if (use_simd)
+            simd::histogramHalves(w, n, h, l);
+        else
+            simd::scalar::histogramHalves(w, n, h, l);
+    };
     size_t chunks = pool ? std::min<size_t>(pool->size(), 16) : 1;
     if (chunks > 1 && words.size() >= 4096) {
         std::vector<std::vector<u64>> hi_part(chunks), lo_part(chunks);
@@ -106,10 +125,8 @@ histogramHalves(const std::vector<u32> &words, ThreadPool *pool,
             l.assign(65536, 0);
             size_t begin = c * per;
             size_t end = std::min(words.size(), begin + per);
-            for (size_t i = begin; i < end; ++i) {
-                ++h[words[i] >> 16];
-                ++l[words[i] & 0xffff];
-            }
+            accumulate(words.data() + begin, end - begin, h.data(),
+                       l.data());
         });
         for (size_t c = 0; c < chunks; ++c)
             for (size_t v = 0; v < 65536; ++v) {
@@ -117,10 +134,7 @@ histogramHalves(const std::vector<u32> &words, ThreadPool *pool,
                 lo[v] += lo_part[c][v];
             }
     } else {
-        for (u32 w : words) {
-            ++hi[w >> 16];
-            ++lo[w & 0xffff];
-        }
+        accumulate(words.data(), words.size(), hi.data(), lo.data());
     }
 }
 
@@ -151,7 +165,7 @@ compressWords(const std::vector<u32> &words, Addr text_base,
     // Phase 1: halfword frequencies over the (padded) text, reduced
     // from per-chunk counters when a pool is available.
     std::vector<u64> hi_arr, lo_arr;
-    histogramHalves(padded, pool.get(), hi_arr, lo_arr);
+    histogramHalves(padded, pool.get(), cfg.simd, hi_arr, lo_arr);
     std::unordered_map<u16, u64> hi_counts, lo_counts;
     for (u32 v = 0; v < 65536; ++v) {
         if (hi_arr[v])
@@ -171,7 +185,7 @@ compressWords(const std::vector<u32> &words, Addr text_base,
     auto encodeOne = [&](size_t b) {
         encoded[b] = compressBlock(padded.data() + b * kBlockInsns,
                                    img.highDict, img.lowDict,
-                                   cfg.allowRawBlocks);
+                                   cfg.allowRawBlocks, cfg.simd);
     };
     if (pool)
         pool->parallelFor(num_blocks, encodeOne);

@@ -37,7 +37,9 @@ class BitWriter
     void reserve(size_t bytes) { bytes_.reserve(bytes); }
 
     /**
-     * Appends the low @p width bits of @p value, MSB first.
+     * Appends the low @p width bits of @p value, MSB first. Emits a
+     * byte-sized chunk per iteration rather than a bit at a time —
+     * this is the single hot loop of the whole compressor.
      * @param value field to append (upper bits beyond width are ignored)
      * @param width number of bits, 0..32
      */
@@ -45,8 +47,18 @@ class BitWriter
     put(u32 value, unsigned width)
     {
         cps_assert(width <= 32, "bit width out of range");
-        for (unsigned i = width; i > 0; --i)
-            putBit((value >> (i - 1)) & 1u);
+        while (width > 0) {
+            if (bitPos_ == 0)
+                bytes_.push_back(0);
+            unsigned room = 8 - bitPos_;
+            unsigned n = width < room ? width : room;
+            u32 chunk =
+                (value >> (width - n)) & ((1u << n) - 1);
+            bytes_.back() |=
+                static_cast<u8>(chunk << (room - n));
+            bitPos_ = (bitPos_ + n) & 7;
+            width -= n;
+        }
     }
 
     /** Appends a single bit. */

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Portable SIMD wrapper for the byte-level scan loops of the
+ * compression pipeline.
+ *
+ * Exactly three operations are wrapped — the ones the CodePack
+ * compressor's hot loops are built from:
+ *
+ *   - splitHalves:      deinterleave instruction words into high/low
+ *                       halfword lanes (the layout every other loop
+ *                       consumes);
+ *   - findU16:          first-match scan of a halfword array (the
+ *                       dictionary match, i.e. the software analogue of
+ *                       the hardware CAM probe);
+ *   - histogramHalves:  halfword frequency counting for dictionary
+ *                       construction.
+ *
+ * The backend is chosen at compile time: SSE2 on x86-64, NEON on
+ * AArch64, and a plain scalar loop everywhere else or when the build
+ * opts out with -DCPS_SIMD=OFF (which defines CPS_SIMD_DISABLED). The
+ * scalar reference implementations live in simd::scalar and are always
+ * compiled, whatever the backend: tests pin the vector paths against
+ * them, and the compressor's CPS-level ablation benches time one
+ * against the other.
+ *
+ * Every routine is semantically exact — same results for any input,
+ * including unaligned lengths and empty arrays — so swapping backends
+ * can never change compressed output. That contract is enforced by
+ * tests/test_simd.cc.
+ */
+
+#ifndef CPS_COMMON_SIMD_HH
+#define CPS_COMMON_SIMD_HH
+
+#include <cstddef>
+
+#include "types.hh"
+
+#if !defined(CPS_SIMD_DISABLED) && (defined(__SSE2__) || defined(_M_X64))
+#define CPS_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif !defined(CPS_SIMD_DISABLED) && defined(__ARM_NEON)
+#define CPS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace cps
+{
+namespace simd
+{
+
+/** Compile-time backend name, rendered into bench JSON. */
+#if defined(CPS_SIMD_SSE2)
+constexpr const char *kBackend = "sse2";
+constexpr bool kVectorized = true;
+#elif defined(CPS_SIMD_NEON)
+constexpr const char *kBackend = "neon";
+constexpr bool kVectorized = true;
+#else
+constexpr const char *kBackend = "scalar";
+constexpr bool kVectorized = false;
+#endif
+
+namespace scalar
+{
+
+/** Splits @p n words into their high and low 16-bit halves. */
+inline void
+splitHalves(const u32 *words, size_t n, u16 *hi, u16 *lo)
+{
+    for (size_t i = 0; i < n; ++i) {
+        hi[i] = static_cast<u16>(words[i] >> 16);
+        lo[i] = static_cast<u16>(words[i] & 0xffff);
+    }
+}
+
+/** Index of the first element equal to @p needle, or @p n if absent. */
+inline size_t
+findU16(const u16 *vals, size_t n, u16 needle)
+{
+    for (size_t i = 0; i < n; ++i)
+        if (vals[i] == needle)
+            return i;
+    return n;
+}
+
+/**
+ * Accumulates halfword frequencies of @p n words into the 65536-entry
+ * tables @p hi and @p lo (not cleared here; callers own the zeroing so
+ * chunked accumulation composes).
+ */
+inline void
+histogramHalves(const u32 *words, size_t n, u64 *hi, u64 *lo)
+{
+    for (size_t i = 0; i < n; ++i) {
+        ++hi[words[i] >> 16];
+        ++lo[words[i] & 0xffff];
+    }
+}
+
+} // namespace scalar
+
+#if defined(CPS_SIMD_SSE2)
+
+inline void
+splitHalves(const u32 *words, size_t n, u16 *hi, u16 *lo)
+{
+    // Per 128-bit vector: four u32 lanes -> four u16 high and low
+    // lanes. packs_epi32 saturates signed, so both halves are biased by
+    // -0x8000 before the pack and un-biased after — the pack is then
+    // exact for the full 16-bit range.
+    const __m128i bias32 = _mm_set1_epi32(0x8000);
+    const __m128i bias16 = _mm_set1_epi16(static_cast<short>(0x8000));
+    const __m128i lomask = _mm_set1_epi32(0xffff);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(words + i));
+        __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(words + i + 4));
+        __m128i ah = _mm_sub_epi32(_mm_srli_epi32(a, 16), bias32);
+        __m128i bh = _mm_sub_epi32(_mm_srli_epi32(b, 16), bias32);
+        __m128i al = _mm_sub_epi32(_mm_and_si128(a, lomask), bias32);
+        __m128i bl = _mm_sub_epi32(_mm_and_si128(b, lomask), bias32);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(hi + i),
+            _mm_xor_si128(_mm_packs_epi32(ah, bh), bias16));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(lo + i),
+            _mm_xor_si128(_mm_packs_epi32(al, bl), bias16));
+    }
+    scalar::splitHalves(words + i, n - i, hi + i, lo + i);
+}
+
+inline size_t
+findU16(const u16 *vals, size_t n, u16 needle)
+{
+    const __m128i key = _mm_set1_epi16(static_cast<short>(needle));
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(vals + i));
+        int mask = _mm_movemask_epi8(_mm_cmpeq_epi16(v, key));
+        if (mask)
+            return i + static_cast<size_t>(__builtin_ctz(
+                           static_cast<unsigned>(mask))) /
+                           2;
+    }
+    size_t rest = scalar::findU16(vals + i, n - i, needle);
+    return rest == n - i ? n : i + rest;
+}
+
+#elif defined(CPS_SIMD_NEON)
+
+inline void
+splitHalves(const u32 *words, size_t n, u16 *hi, u16 *lo)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        uint32x4_t v = vld1q_u32(words + i);
+        vst1_u16(hi + i, vshrn_n_u32(v, 16));
+        vst1_u16(lo + i, vmovn_u32(v));
+    }
+    scalar::splitHalves(words + i, n - i, hi + i, lo + i);
+}
+
+inline size_t
+findU16(const u16 *vals, size_t n, u16 needle)
+{
+    const uint16x8_t key = vdupq_n_u16(needle);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        uint16x8_t eq = vceqq_u16(vld1q_u16(vals + i), key);
+        // Narrow each 16-bit lane's compare result to 4 bits; the
+        // 64-bit reinterpretation then holds one nibble per lane and
+        // ctz/4 names the first hit.
+        uint64_t mask = vget_lane_u64(
+            vreinterpret_u64_u8(vshrn_n_u16(eq, 4)), 0);
+        if (mask)
+            return i +
+                   static_cast<size_t>(__builtin_ctzll(mask)) / 8;
+    }
+    size_t rest = scalar::findU16(vals + i, n - i, needle);
+    return rest == n - i ? n : i + rest;
+}
+
+#else
+
+inline void
+splitHalves(const u32 *words, size_t n, u16 *hi, u16 *lo)
+{
+    scalar::splitHalves(words, n, hi, lo);
+}
+
+inline size_t
+findU16(const u16 *vals, size_t n, u16 needle)
+{
+    return scalar::findU16(vals, n, needle);
+}
+
+#endif
+
+/**
+ * Accumulates halfword frequencies of @p n words into the 65536-entry
+ * tables @p hi and @p lo. Vector backends deinterleave a block of
+ * words into dense halfword lanes first (one streaming pass instead of
+ * a shift+mask per element), then count each lane in a tight scalar
+ * loop — the increments themselves are a scatter no 128-bit ISA can
+ * vectorize. Tables are accumulated into, not cleared, exactly like
+ * the scalar reference.
+ */
+inline void
+histogramHalves(const u32 *words, size_t n, u64 *hi, u64 *lo)
+{
+    if (!kVectorized || n < 16) {
+        scalar::histogramHalves(words, n, hi, lo);
+        return;
+    }
+    constexpr size_t kChunk = 256;
+    u16 hbuf[kChunk], lbuf[kChunk];
+    for (size_t at = 0; at < n; at += kChunk) {
+        size_t c = n - at < kChunk ? n - at : kChunk;
+        splitHalves(words + at, c, hbuf, lbuf);
+        for (size_t i = 0; i < c; ++i)
+            ++hi[hbuf[i]];
+        for (size_t i = 0; i < c; ++i)
+            ++lo[lbuf[i]];
+    }
+}
+
+} // namespace simd
+} // namespace cps
+
+#endif // CPS_COMMON_SIMD_HH

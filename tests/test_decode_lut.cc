@@ -23,6 +23,7 @@
 
 #include "codepack/compressor.hh"
 #include "codepack/decompressor.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "harness/suite.hh"
 
@@ -33,33 +34,220 @@ namespace codepack
 namespace
 {
 
+/** Asserts @p fast equals the checked result @p want, with context. */
+void
+expectBlockEq(const DecodedBlock &fast, const DecodedBlock &want,
+              const std::string &ctx)
+{
+    EXPECT_EQ(fast.byteOffset, want.byteOffset) << ctx;
+    EXPECT_EQ(fast.byteLen, want.byteLen) << ctx;
+    EXPECT_EQ(fast.raw, want.raw) << ctx;
+    for (unsigned i = 0; i < kBlockInsns; ++i) {
+        ASSERT_EQ(fast.words[i], want.words[i]) << ctx << " insn " << i;
+        ASSERT_EQ(fast.endBit[i], want.endBit[i])
+            << ctx << " insn " << i;
+    }
+}
+
+/**
+ * Every rung of the kernel ladder — and the batched multi-block path —
+ * decodes every block of @p img identically to the checked bit-serial
+ * reference.
+ */
+void
+expectAllKernelsMatchChecked(const CompressedImage &img,
+                             const std::string &name)
+{
+    constexpr DecodeKernel kKernels[] = {
+        DecodeKernel::Checked, DecodeKernel::Lut, DecodeKernel::Lut2};
+    Decompressor ref(img, DecodeKernel::Checked);
+    for (DecodeKernel k : kKernels) {
+        Decompressor d(img, k);
+        ASSERT_EQ(d.kernel(), k);
+        for (u32 g = 0; g < img.numGroups(); ++g) {
+            for (u32 b = 0; b < kBlocksPerGroup; ++b) {
+                Result<DecodedBlock> want = ref.tryDecompressBlock(g, b);
+                ASSERT_TRUE(want.ok()) << name << " group " << g;
+                expectBlockEq(d.decompressBlock(g, b), want.value(),
+                              strfmt("%s kernel=%s group %u block %u",
+                                     name.c_str(), decodeKernelName(k),
+                                     g, b));
+            }
+        }
+        // The batched entry point must agree block for block — both
+        // over the whole image (exercising the 4-wide interleave and
+        // its raw-block/tail fallbacks) and from an odd first block
+        // (unaligned batch start).
+        u32 blocks = img.numBlocks();
+        std::vector<DecodedBlock> batch(blocks);
+        d.decompressBlocks(0, blocks, batch.data());
+        for (u32 fb = 0; fb < blocks; ++fb)
+            expectBlockEq(batch[fb], ref.decompressFlatBlock(fb),
+                          strfmt("%s kernel=%s batched flat block %u",
+                                 name.c_str(), decodeKernelName(k), fb));
+        if (blocks > 1) {
+            std::vector<DecodedBlock> odd(blocks - 1);
+            d.decompressBlocks(1, blocks - 1, odd.data());
+            for (u32 fb = 1; fb < blocks; ++fb)
+                expectBlockEq(odd[fb - 1], ref.decompressFlatBlock(fb),
+                              strfmt("%s kernel=%s odd batch block %u",
+                                     name.c_str(), decodeKernelName(k),
+                                     fb));
+        }
+    }
+}
+
 TEST(DecodeLut, TrustedMatchesCheckedOnEveryProfileBlock)
 {
     Suite &suite = Suite::instance();
     suite.pregenerate();
-    for (const std::string &name : suite.names()) {
-        const CompressedImage &img = suite.get(name).image;
-        Decompressor d(img);
-        for (u32 g = 0; g < img.numGroups(); ++g) {
-            for (u32 b = 0; b < kBlocksPerGroup; ++b) {
-                Result<DecodedBlock> ref = d.tryDecompressBlock(g, b);
-                ASSERT_TRUE(ref.ok()) << name << " group " << g;
-                DecodedBlock fast = d.decompressBlock(g, b);
-                const DecodedBlock &want = ref.value();
-                EXPECT_EQ(fast.byteOffset, want.byteOffset);
-                EXPECT_EQ(fast.byteLen, want.byteLen);
-                EXPECT_EQ(fast.raw, want.raw);
-                for (unsigned i = 0; i < kBlockInsns; ++i) {
-                    ASSERT_EQ(fast.words[i], want.words[i])
-                        << name << " group " << g << " block " << b
-                        << " insn " << i;
-                    ASSERT_EQ(fast.endBit[i], want.endBit[i])
-                        << name << " group " << g << " block " << b
-                        << " insn " << i;
-                }
+    for (const std::string &name : suite.names())
+        expectAllKernelsMatchChecked(suite.get(name).image, name);
+}
+
+/**
+ * Stitches @p words into a CompressedImage over explicit dictionaries,
+ * mimicking the compressor's phase 3 (per-block encode, byte-align,
+ * index-table build; no raw-block escapes). Lets tests decode under
+ * adversarial dictionaries the frequency-ranked builder would never
+ * produce.
+ */
+CompressedImage
+imageOverDicts(const std::vector<u32> &words, Dictionary high,
+               Dictionary low)
+{
+    CompressedImage img;
+    img.textBase = 0;
+    img.origTextBytes = static_cast<u32>(words.size() * 4);
+    std::vector<u32> padded = words;
+    while (padded.size() % kGroupInsns != 0)
+        padded.push_back(kNopWord);
+    img.paddedInsns = static_cast<u32>(padded.size());
+    img.highDict = std::move(high);
+    img.lowDict = std::move(low);
+
+    u32 groups = img.paddedInsns / kGroupInsns;
+    for (u32 g = 0; g < groups; ++g) {
+        u32 first_off = static_cast<u32>(img.bytes.size());
+        u32 lens[kBlocksPerGroup] = {};
+        for (u32 b = 0; b < kBlocksPerGroup; ++b) {
+            const u32 *insns =
+                padded.data() +
+                (size_t{g} * kBlocksPerGroup + b) * kBlockInsns;
+            BitWriter bw;
+            for (unsigned i = 0; i < kBlockInsns; ++i) {
+                u16 hi = static_cast<u16>(insns[i] >> 16);
+                u16 lo = static_cast<u16>(insns[i]);
+                Dictionary::writeEncoded(bw, img.highDict.encode(hi),
+                                         hi);
+                Dictionary::writeEncoded(bw, img.lowDict.encode(lo),
+                                         lo);
             }
+            bw.alignByte();
+            BlockExtent ext;
+            ext.byteOffset = static_cast<u32>(img.bytes.size());
+            std::vector<u8> bytes = bw.take();
+            ext.byteLen = static_cast<u32>(bytes.size());
+            img.blocks.push_back(ext);
+            img.bytes.insert(img.bytes.end(), bytes.begin(),
+                             bytes.end());
+            lens[b] = ext.byteLen;
         }
+        img.indexTable.push_back(
+            makeIndexEntry(first_off, false, lens[0], false));
     }
+    return img;
+}
+
+/** Deterministic mixed instruction stream drawing halves from @p picks. */
+std::vector<u32>
+mixedWords(const std::vector<u16> &high_picks,
+           const std::vector<u16> &low_picks, size_t count, u32 seed)
+{
+    Rng rng(seed);
+    std::vector<u32> words;
+    words.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        // Mostly dictionary hits, with raw halves and zero lows mixed
+        // in so every decode rung (pair, single, raw escape, low-zero)
+        // appears in every stream.
+        u16 hi = rng.below(4) == 0
+                     ? static_cast<u16>(rng.below(65536))
+                     : high_picks[rng.below(
+                           static_cast<u32>(high_picks.size()))];
+        u16 lo;
+        switch (rng.below(4)) {
+          case 0:
+            lo = static_cast<u16>(rng.below(65536));
+            break;
+          case 1:
+            lo = 0;
+            break;
+          default:
+            lo = low_picks[rng.below(
+                static_cast<u32>(low_picks.size()))];
+        }
+        words.push_back((static_cast<u32>(hi) << 16) | lo);
+    }
+    return words;
+}
+
+TEST(DecodeLut, AllRawDictionariesNeverDoublePack)
+{
+    // Empty dictionaries: every halfword escapes raw (19 + 19 bits per
+    // instruction, 76-byte blocks — still under the 128-byte index
+    // limit for block 0). The PairLut must be all escape slots.
+    Dictionary high(Dictionary::Kind::High);
+    Dictionary low(Dictionary::Kind::Low);
+    EXPECT_EQ(PairLut(high, low).pairSlots(), 0u);
+
+    std::vector<u32> words =
+        mixedWords({0xdead}, {0xbeef}, 4 * kGroupInsns, 0xa11);
+    CompressedImage img =
+        imageOverDicts(words, std::move(high), std::move(low));
+    expectAllKernelsMatchChecked(img, "all-raw");
+}
+
+TEST(DecodeLut, SingleEntryDictionaries)
+{
+    // One bank-0 entry per dictionary: the only double-packable window
+    // is that 6-bit high code followed by the low zero code or the one
+    // 6-bit low code.
+    Dictionary high = Dictionary::fromBankEntries(
+        Dictionary::Kind::High, {{0x4242}, {}, {}, {}});
+    Dictionary low = Dictionary::fromBankEntries(Dictionary::Kind::Low,
+                                                 {{0x1771}, {}, {}});
+    EXPECT_GT(PairLut(high, low).pairSlots(), 0u);
+
+    std::vector<u32> words =
+        mixedWords({0x4242}, {0x1771}, 6 * kGroupInsns, 0x5e1);
+    CompressedImage img =
+        imageOverDicts(words, std::move(high), std::move(low));
+    expectAllKernelsMatchChecked(img, "single-entry");
+}
+
+TEST(DecodeLut, MaxLengthCodewordsNeverDoublePack)
+{
+    // Only the last bank populated: every dictionary codeword is the
+    // maximum 11 bits, so no high+low combination — not even 11 bits
+    // plus the 2-bit low zero code — fits the PairLut window. Double
+    // packing must never apply, and decode must still agree.
+    std::vector<u16> high_vals, low_vals;
+    for (u16 v = 0; v < 32; ++v) {
+        high_vals.push_back(static_cast<u16>(0x8000 + v));
+        low_vals.push_back(static_cast<u16>(0x4000 + v));
+    }
+    Dictionary high = Dictionary::fromBankEntries(
+        Dictionary::Kind::High, {{}, {}, {}, high_vals});
+    Dictionary low = Dictionary::fromBankEntries(
+        Dictionary::Kind::Low, {{}, {}, low_vals});
+    EXPECT_EQ(PairLut(high, low).pairSlots(), 0u);
+
+    std::vector<u32> words =
+        mixedWords(high_vals, low_vals, 6 * kGroupInsns, 0x3aa);
+    CompressedImage img =
+        imageOverDicts(words, std::move(high), std::move(low));
+    expectAllKernelsMatchChecked(img, "max-length");
 }
 
 /** A dictionary with a couple of populated banks for stream tests. */

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * SIMD wrapper equivalence tests: every vector backend routine must
+ * produce exactly the scalar reference's result on any input —
+ * unaligned lengths, sub-vector arrays, duplicate matches, saturating
+ * halfword values — so swapping backends can never change compressed
+ * output. The threaded histogram section runs disjoint-table
+ * accumulation under TSan; ASan covers the tail-handling loads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "codepack/dictionary.hh"
+#include "common/rng.hh"
+#include "common/simd.hh"
+
+namespace cps
+{
+namespace
+{
+
+std::vector<u32>
+randomWords(size_t n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u32> words(n);
+    for (u32 &w : words)
+        w = static_cast<u32>(rng.next());
+    return words;
+}
+
+// Lengths that straddle every vector boundary: empty, sub-vector,
+// exactly one vector, one-past, the unrolled 2x width, and a tail in
+// every residue class.
+const size_t kLens[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64, 100};
+
+TEST(Simd, SplitHalvesMatchesScalarAllLengths)
+{
+    for (size_t n : kLens) {
+        std::vector<u32> words = randomWords(n, 0x5eed + n);
+        std::vector<u16> hi_v(n), lo_v(n), hi_s(n), lo_s(n);
+        simd::splitHalves(words.data(), n, hi_v.data(), lo_v.data());
+        simd::scalar::splitHalves(words.data(), n, hi_s.data(),
+                                  lo_s.data());
+        EXPECT_EQ(hi_v, hi_s) << "n=" << n;
+        EXPECT_EQ(lo_v, lo_s) << "n=" << n;
+    }
+}
+
+TEST(Simd, SplitHalvesExactOnSaturationBoundaries)
+{
+    // The SSE2 pack saturates signed 16-bit; the bias trick must make
+    // it exact across the whole range, especially around 0x7fff/0x8000.
+    std::vector<u32> words;
+    for (u32 h : {0u, 1u, 0x7fffu, 0x8000u, 0x8001u, 0xfffeu, 0xffffu})
+        for (u32 l : {0u, 0x7fffu, 0x8000u, 0xffffu})
+            words.push_back((h << 16) | l);
+    size_t n = words.size();
+    std::vector<u16> hi(n), lo(n);
+    simd::splitHalves(words.data(), n, hi.data(), lo.data());
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hi[i], words[i] >> 16);
+        EXPECT_EQ(lo[i], words[i] & 0xffff);
+    }
+}
+
+TEST(Simd, FindU16MatchesScalarRandom)
+{
+    Rng rng(0xf16d);
+    for (size_t n : kLens) {
+        std::vector<u16> vals(n);
+        for (u16 &v : vals)
+            v = static_cast<u16>(rng.below(64)); // dense duplicates
+        for (int probe = 0; probe < 80; ++probe) {
+            u16 needle = static_cast<u16>(rng.below(80)); // often absent
+            EXPECT_EQ(simd::findU16(vals.data(), n, needle),
+                      simd::scalar::findU16(vals.data(), n, needle))
+                << "n=" << n << " needle=" << needle;
+        }
+    }
+}
+
+TEST(Simd, FindU16FirstMatchSemantics)
+{
+    // Duplicates everywhere: the vector path must still name the
+    // first hit, including hits inside the scalar tail.
+    std::vector<u16> vals(37, 0xabcd);
+    EXPECT_EQ(simd::findU16(vals.data(), vals.size(), 0xabcd), 0u);
+    EXPECT_EQ(simd::findU16(vals.data(), vals.size(), 0x1234),
+              vals.size());
+    for (size_t at = 0; at < vals.size(); ++at) {
+        std::vector<u16> v(vals.size(), 0);
+        v[at] = 7;
+        if (at + 5 < v.size())
+            v[at + 5] = 7; // later duplicate must not win
+        EXPECT_EQ(simd::findU16(v.data(), v.size(), 7), at);
+    }
+    EXPECT_EQ(simd::findU16(nullptr, 0, 42), 0u);
+}
+
+TEST(Simd, HistogramHalvesMatchesScalar)
+{
+    for (size_t n : kLens) {
+        std::vector<u32> words = randomWords(n, 0x415e + n);
+        // Narrow the halfword universe so counts exceed 1.
+        for (u32 &w : words)
+            w = ((w >> 16) % 13) << 16 | (w % 7);
+        std::vector<u64> hi_v(65536, 0), lo_v(65536, 0);
+        std::vector<u64> hi_s(65536, 0), lo_s(65536, 0);
+        simd::histogramHalves(words.data(), n, hi_v.data(), lo_v.data());
+        simd::scalar::histogramHalves(words.data(), n, hi_s.data(),
+                                      lo_s.data());
+        EXPECT_EQ(hi_v, hi_s) << "n=" << n;
+        EXPECT_EQ(lo_v, lo_s) << "n=" << n;
+    }
+}
+
+TEST(Simd, HistogramHalvesAccumulates)
+{
+    // The contract says tables are accumulated into, not cleared:
+    // chunked calls must compose to one whole-array call.
+    std::vector<u32> words = randomWords(333, 0xacc);
+    std::vector<u64> hi_a(65536, 0), lo_a(65536, 0);
+    std::vector<u64> hi_b(65536, 0), lo_b(65536, 0);
+    simd::histogramHalves(words.data(), words.size(), hi_a.data(),
+                          lo_a.data());
+    size_t cut = 100;
+    simd::histogramHalves(words.data(), cut, hi_b.data(), lo_b.data());
+    simd::histogramHalves(words.data() + cut, words.size() - cut,
+                          hi_b.data(), lo_b.data());
+    EXPECT_EQ(hi_a, hi_b);
+    EXPECT_EQ(lo_a, lo_b);
+}
+
+TEST(Simd, HistogramHalvesThreadedDisjointTables)
+{
+    // The compressor's phase-1 workers histogram disjoint chunks into
+    // per-worker tables. Reproduce that shape so TSan checks the
+    // wrapper (including its on-stack deinterleave buffers) for shared
+    // state across threads.
+    std::vector<u32> words = randomWords(4096, 0x7eadd);
+    constexpr unsigned kThreads = 4;
+    std::vector<std::vector<u64>> hi(kThreads,
+                                     std::vector<u64>(65536, 0));
+    std::vector<std::vector<u64>> lo(kThreads,
+                                     std::vector<u64>(65536, 0));
+    std::vector<std::thread> pool;
+    size_t chunk = words.size() / kThreads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        pool.emplace_back([&, t] {
+            simd::histogramHalves(words.data() + t * chunk, chunk,
+                                  hi[t].data(), lo[t].data());
+        });
+    for (std::thread &th : pool)
+        th.join();
+    std::vector<u64> hi_sum(65536, 0), lo_sum(65536, 0);
+    for (unsigned t = 0; t < kThreads; ++t)
+        for (size_t v = 0; v < 65536; ++v) {
+            hi_sum[v] += hi[t][v];
+            lo_sum[v] += lo[t][v];
+        }
+    std::vector<u64> hi_ref(65536, 0), lo_ref(65536, 0);
+    simd::scalar::histogramHalves(words.data(), words.size(),
+                                  hi_ref.data(), lo_ref.data());
+    EXPECT_EQ(hi_sum, hi_ref);
+    EXPECT_EQ(lo_sum, lo_ref);
+}
+
+TEST(Simd, BackendNameConsistent)
+{
+    if (simd::kVectorized)
+        EXPECT_STRNE(simd::kBackend, "scalar");
+    else
+        EXPECT_STREQ(simd::kBackend, "scalar");
+}
+
+TEST(Simd, DictionaryMatchEncodeExhaustive)
+{
+    // The vectorized CAM probe must agree with both the scalar scan
+    // and the hash-map encode() over the entire halfword space.
+    std::vector<u32> words = randomWords(4096, 0xd1c7);
+    for (u32 &w : words)
+        w = ((w >> 16) % 97) << 16 | (w % 61);
+    std::unordered_map<u16, u64> hi_counts, lo_counts;
+    for (u32 w : words) {
+        ++hi_counts[static_cast<u16>(w >> 16)];
+        ++lo_counts[static_cast<u16>(w & 0xffff)];
+    }
+    using codepack::Dictionary;
+    Dictionary high =
+        Dictionary::build(Dictionary::Kind::High, hi_counts);
+    Dictionary low = Dictionary::build(Dictionary::Kind::Low, lo_counts);
+    for (u32 v = 0; v < 65536; ++v) {
+        u16 half = static_cast<u16>(v);
+        for (const codepack::Dictionary *d : {&high, &low}) {
+            codepack::HalfEncoding vec = d->matchEncode(half, true);
+            codepack::HalfEncoding sca = d->matchEncode(half, false);
+            codepack::HalfEncoding ref = d->encode(half);
+            for (const codepack::HalfEncoding *e : {&vec, &sca}) {
+                ASSERT_EQ(e->raw, ref.raw) << "half=" << v;
+                ASSERT_EQ(e->zeroSpecial, ref.zeroSpecial);
+                ASSERT_EQ(e->bank, ref.bank);
+                ASSERT_EQ(e->index, ref.index);
+                ASSERT_EQ(e->tagBits, ref.tagBits);
+                ASSERT_EQ(e->tag, ref.tag);
+                ASSERT_EQ(e->indexBits, ref.indexBits);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace cps
