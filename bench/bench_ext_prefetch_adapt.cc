@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Extension experiment: adaptive decompression prefetch (ROADMAP open
+ * item grown from the paper's single output-buffer evaluation, §3.2).
+ *
+ * Four tables on the 4-issue machine (software handler on the 1-issue
+ * embedded machine, matching bench_ext_software_decompress):
+ *
+ *   1. Speedup over native with next-block and stride prefetchers of
+ *      varying depth ahead of the optimized hardware decompressor.
+ *   2. Prefetch accuracy: useful prefetches / issued prefetches.
+ *   3. Index-cache replacement and geometry ablation (LRU/FIFO/random
+ *      victim selection, set-associative partitions): index miss rate.
+ *   4. Software-managed decompression with trap-time prefetch into
+ *      extra scratchpad slots.
+ */
+
+#include <string>
+#include <vector>
+
+#include "codepack/timing.hh"
+#include "common/table.hh"
+#include "harness/engine.hh"
+
+using namespace cps;
+
+namespace
+{
+
+/** Optimized hardware decompressor + the given prefetcher. */
+MachineConfig
+hwCfg(codepack::PrefetchKind kind, unsigned depth)
+{
+    MachineConfig cfg = baseline4Issue();
+    cfg.codeModel = CodeModel::CodePackCustom;
+    cfg.decomp = codepack::DecompressorConfig::optimized();
+    cfg.decomp.prefetch = kind;
+    cfg.decomp.prefetchDepth = depth;
+    return cfg;
+}
+
+/** Optimized decompressor with an index-cache ablation. */
+MachineConfig
+idxCfg(unsigned lines, IndexReplacement repl, unsigned sets)
+{
+    MachineConfig cfg = baseline4Issue();
+    cfg.codeModel = CodeModel::CodePackCustom;
+    cfg.decomp = codepack::DecompressorConfig::optimized();
+    cfg.decomp.indexCacheLines = lines;
+    cfg.decomp.indexReplacement = repl;
+    cfg.decomp.indexCacheSets = sets;
+    return cfg;
+}
+
+/** Software handler with the given trap-time prefetcher. */
+MachineConfig
+swCfg(codepack::PrefetchKind kind, unsigned depth)
+{
+    MachineConfig cfg = baseline1Issue();
+    cfg.codeModel = CodeModel::CodePackSoftware;
+    cfg.software.prefetch = kind;
+    cfg.software.prefetchDepth = depth;
+    return cfg;
+}
+
+std::string
+fmtAccuracy(const RunOutcome &o)
+{
+    if (o.prefetchIssued == 0)
+        return "-";
+    return TextTable::pct(static_cast<double>(o.prefetchHits) /
+                          static_cast<double>(o.prefetchIssued));
+}
+
+} // namespace
+
+int
+main()
+{
+    u64 insns = Suite::runInsns();
+    Suite &suite = Suite::instance();
+    suite.pregenerate();
+
+    using codepack::PrefetchKind;
+
+    const std::vector<std::pair<PrefetchKind, unsigned>> kPf = {
+        {PrefetchKind::NextBlock, 1},
+        {PrefetchKind::NextBlock, 2},
+        {PrefetchKind::Stride, 2},
+        {PrefetchKind::Stride, 4},
+    };
+    const std::vector<std::tuple<unsigned, IndexReplacement, unsigned>>
+        kIdx = {
+            {64, IndexReplacement::Fifo, 1},
+            {64, IndexReplacement::Random, 1},
+            {64, IndexReplacement::Lru, 8},
+            {16, IndexReplacement::Lru, 1},
+            {16, IndexReplacement::Lru, 4},
+        };
+    const std::vector<std::pair<PrefetchKind, unsigned>> kSwPf = {
+        {PrefetchKind::NextBlock, 1},
+        {PrefetchKind::NextBlock, 2},
+        {PrefetchKind::Stride, 2},
+    };
+
+    harness::Matrix m;
+    for (const std::string &name : suite.names()) {
+        const BenchProgram &bench = suite.get(name);
+        m.add(bench, baseline4Issue(), insns);
+        m.add(bench, hwCfg(PrefetchKind::None, 1), insns);
+        for (auto [kind, depth] : kPf)
+            m.add(bench, hwCfg(kind, depth), insns);
+        for (auto [lines, repl, sets] : kIdx)
+            m.add(bench, idxCfg(lines, repl, sets), insns);
+        m.add(bench, baseline1Issue(), insns);
+        m.add(bench, swCfg(PrefetchKind::None, 1), insns);
+        for (auto [kind, depth] : kSwPf)
+            m.add(bench, swCfg(kind, depth), insns);
+    }
+    m.run();
+
+    // Collect per-bench cells in submission order.
+    struct Cells
+    {
+        harness::CellOutcome native4, hwNone;
+        std::vector<harness::CellOutcome> hwPf;
+        std::vector<harness::CellOutcome> idx;
+        harness::CellOutcome native1, swNone;
+        std::vector<harness::CellOutcome> swPf;
+    };
+    std::vector<Cells> rows;
+    for (size_t b = 0; b < suite.names().size(); ++b) {
+        Cells c;
+        c.native4 = m.nextCell();
+        c.hwNone = m.nextCell();
+        for (size_t i = 0; i < kPf.size(); ++i)
+            c.hwPf.push_back(m.nextCell());
+        for (size_t i = 0; i < kIdx.size(); ++i)
+            c.idx.push_back(m.nextCell());
+        c.native1 = m.nextCell();
+        c.swNone = m.nextCell();
+        for (size_t i = 0; i < kSwPf.size(); ++i)
+            c.swPf.push_back(m.nextCell());
+        rows.push_back(std::move(c));
+    }
+
+    auto fmtSpd = [](const RunOutcome &n, const RunOutcome &o) {
+        return TextTable::fmt(speedup(n, o), 3);
+    };
+
+    TextTable t1;
+    t1.setTitle("Extension: hardware block prefetch ahead of the "
+                "optimized decompressor (speedup over native, 4-issue)");
+    t1.addHeader({"Bench", "No prefetch", "Next-1", "Next-2", "Stride-2",
+                  "Stride-4"});
+    for (size_t b = 0; b < rows.size(); ++b) {
+        const Cells &c = rows[b];
+        std::vector<std::string> row{suite.names()[b]};
+        row.push_back(harness::fmtCells(c.native4, c.hwNone, fmtSpd));
+        for (const harness::CellOutcome &cell : c.hwPf)
+            row.push_back(harness::fmtCells(c.native4, cell, fmtSpd));
+        t1.addRow(row);
+    }
+    t1.print();
+
+    TextTable t2;
+    t2.setTitle("Prefetch accuracy (useful / issued)");
+    t2.addHeader({"Bench", "Next-1", "Next-2", "Stride-2", "Stride-4"});
+    for (size_t b = 0; b < rows.size(); ++b) {
+        std::vector<std::string> row{suite.names()[b]};
+        for (const harness::CellOutcome &cell : rows[b].hwPf)
+            row.push_back(harness::fmtCell(cell, fmtAccuracy));
+        t2.addRow(row);
+    }
+    t2.print();
+
+    TextTable t3;
+    t3.setTitle("Index-cache replacement/geometry ablation "
+                "(index miss rate, 4-issue)");
+    t3.addHeader({"Bench", "LRU 64x4", "FIFO 64x4", "Rand 64x4",
+                  "LRU 64x4/8s", "LRU 16x4", "LRU 16x4/4s"});
+    auto fmtIdx = [](const RunOutcome &o) {
+        return TextTable::pct(o.indexCacheMissRate);
+    };
+    for (size_t b = 0; b < rows.size(); ++b) {
+        const Cells &c = rows[b];
+        std::vector<std::string> row{suite.names()[b]};
+        row.push_back(harness::fmtCell(c.hwNone, fmtIdx));
+        for (const harness::CellOutcome &cell : c.idx)
+            row.push_back(harness::fmtCell(cell, fmtIdx));
+        t3.addRow(row);
+    }
+    t3.print();
+
+    TextTable t4;
+    t4.setTitle("Software-managed decompression with trap-time prefetch "
+                "(speedup over native, 1-issue embedded machine)");
+    t4.addHeader({"Bench", "No prefetch", "Next-1", "Next-2", "Stride-2",
+                  "Stride-2 acc"});
+    for (size_t b = 0; b < rows.size(); ++b) {
+        const Cells &c = rows[b];
+        std::vector<std::string> row{suite.names()[b]};
+        row.push_back(harness::fmtCells(c.native1, c.swNone, fmtSpd));
+        for (const harness::CellOutcome &cell : c.swPf)
+            row.push_back(harness::fmtCells(c.native1, cell, fmtSpd));
+        row.push_back(harness::fmtCell(c.swPf.back(), fmtAccuracy));
+        t4.addRow(row);
+    }
+    t4.print();
+
+    return m.exitSummary();
+}

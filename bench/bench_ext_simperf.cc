@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "codepack/block_fetcher.hh"
 #include "codepack/decompressor.hh"
 #include "common/artifact_cache.hh"
 #include "common/simd.hh"
@@ -46,7 +47,7 @@ using Clock = std::chrono::steady_clock;
  * removed, or changes meaning. tests/check_simperf_schema.py pins the
  * emitted document against this number and its required keys.
  */
-constexpr int kSchema = 6;
+constexpr int kSchema = 7;
 
 double
 secondsSince(Clock::time_point start)
@@ -231,6 +232,69 @@ main()
         return bps > 0 ? 1e9 / bps : 0.0;
     };
 
+    // --- 1d. Host block cache: direct-mapped memo vs scored prefetch --
+    // Warm-refill throughput of the three host caches on a sequential
+    // sweep over every block of the largest image. The image holds far
+    // more blocks than the 64-slot cache, so every sweep is a full
+    // refill — the worst case the fetcher's speculative decode overlap
+    // is meant to win.
+    const unsigned hostpf_slots = 64;
+    codepack::BlockCache direct_cache(batch_decomp, hostpf_slots);
+    codepack::BlockFetcher::Options lru_opts;
+    lru_opts.slots = hostpf_slots;
+    lru_opts.prefetch = false;
+    codepack::BlockFetcher lru_fetch(batch_decomp, lru_opts);
+    codepack::BlockFetcher::Options pf_opts;
+    pf_opts.slots = hostpf_slots;
+    codepack::BlockFetcher pf_fetch(batch_decomp, pf_opts);
+    auto directSweep = [&](u32 b) {
+        const codepack::DecodedBlock &blk = direct_cache.get(
+            b / codepack::kBlocksPerGroup, b % codepack::kBlocksPerGroup);
+        asm volatile("" : : "r"(blk.words[0]) : "memory");
+    };
+    auto lruSweep = [&](u32 b) {
+        const codepack::DecodedBlock &blk = lru_fetch.getFlat(b);
+        asm volatile("" : : "r"(blk.words[0]) : "memory");
+    };
+    auto pfSweep = [&](u32 b) {
+        const codepack::DecodedBlock &blk = pf_fetch.getFlat(b);
+        asm volatile("" : : "r"(blk.words[0]) : "memory");
+    };
+    // One ~0.2 s timing window; the three caches take their windows
+    // interleaved, rep by rep, so slow drift (turbo decay, a noisy
+    // neighbor) hits all of them alike instead of biasing the ratio.
+    auto window = [&](auto &&sweep) {
+        u64 decoded = 0;
+        auto start = Clock::now();
+        double elapsed = 0;
+        do {
+            for (u32 b = 0; b < blocks; ++b)
+                sweep(b);
+            decoded += blocks;
+            elapsed = secondsSince(start);
+        } while (elapsed < 0.2);
+        return static_cast<double>(decoded) / elapsed;
+    };
+    for (u32 b = 0; b < blocks; ++b) { // warm all three
+        directSweep(b);
+        lruSweep(b);
+        pfSweep(b);
+    }
+    double direct_bps = 0, lru_bps = 0, fetcher_bps = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+        direct_bps = std::max(direct_bps, window(directSweep));
+        lru_bps = std::max(lru_bps, window(lruSweep));
+        fetcher_bps = std::max(fetcher_bps, window(pfSweep));
+    }
+    double warm_refill_speedup =
+        fetcher_bps / (direct_bps > 0 ? direct_bps : 1.0);
+    u64 hostpf_issued = pf_fetch.prefetchIssued();
+    u64 hostpf_hits = pf_fetch.prefetchHits();
+    double hostpf_hit_rate =
+        hostpf_issued == 0 ? 0.0
+                           : static_cast<double>(hostpf_hits) /
+                                 static_cast<double>(hostpf_issued);
+
     // --- 2. Simulated instructions per second, live vs replay ---------
     const BenchProgram &go = suite.get("go");
     auto simRate = [&](const MachineConfig &cfg, ReplayMode mode) {
@@ -397,6 +461,22 @@ main()
               strfmt("%.2fx (default kernel: %s)", decode_speedup,
                      codepack::decodeKernelName(
                          codepack::defaultDecodeKernel()))});
+    t.addRow({strfmt("host cache, direct-mapped %u", hostpf_slots),
+              strfmt("%s blocks/s (%.1f ns/block)",
+                     grouped(direct_bps).c_str(),
+                     nsPerBlock(direct_bps))});
+    t.addRow({strfmt("host cache, LRU %u, no prefetch", hostpf_slots),
+              strfmt("%s blocks/s (%.1f ns/block)",
+                     grouped(lru_bps).c_str(), nsPerBlock(lru_bps))});
+    t.addRow({strfmt("host cache, scored prefetch %u", hostpf_slots),
+              strfmt("%s blocks/s (%.1f ns/block, %.2fx vs direct)",
+                     grouped(fetcher_bps).c_str(),
+                     nsPerBlock(fetcher_bps), warm_refill_speedup)});
+    t.addRow({"host prefetch accuracy",
+              strfmt("%s issued, %s claimed (%.1f%%)",
+                     TextTable::grouped(hostpf_issued).c_str(),
+                     TextTable::grouped(hostpf_hits).c_str(),
+                     hostpf_hit_rate * 100.0)});
     t.addRow({"4-issue native simulation, live",
               strfmt("%s insns/s", grouped(native_ips).c_str())});
     t.addRow({"4-issue native simulation, replay",
@@ -479,6 +559,16 @@ main()
         "    \"batched_ns_per_block\": %.1f,\n"
         "    \"batched_speedup\": %.3f\n"
         "  },\n"
+        "  \"hostpf\": {\n"
+        "    \"slots\": %u,\n"
+        "    \"direct_blocks_per_sec\": %.0f,\n"
+        "    \"lru_blocks_per_sec\": %.0f,\n"
+        "    \"fetcher_blocks_per_sec\": %.0f,\n"
+        "    \"warm_refill_speedup\": %.3f,\n"
+        "    \"prefetch_issued\": %llu,\n"
+        "    \"prefetch_hits\": %llu,\n"
+        "    \"prefetch_hit_rate\": %.4f\n"
+        "  },\n"
         "  \"simulation\": {\n"
         "    \"native_insns_per_sec\": %.0f,\n"
         "    \"native_replay_insns_per_sec\": %.0f,\n"
@@ -522,7 +612,11 @@ main()
         checked_bps, lut_bps, lut2_bps, batched_bps,
         nsPerBlock(checked_bps), nsPerBlock(lut_bps),
         nsPerBlock(lut2_bps), nsPerBlock(batched_bps),
-        decode_speedup, native_ips, native_replay_ips,
+        decode_speedup, hostpf_slots, direct_bps, lru_bps, fetcher_bps,
+        warm_refill_speedup,
+        static_cast<unsigned long long>(hostpf_issued),
+        static_cast<unsigned long long>(hostpf_hits), hostpf_hit_rate,
+        native_ips, native_replay_ips,
         cp_ips, cp_replay_ips, inorder_ips, inorder_replay_ips,
         reqs.size(),
         static_cast<unsigned long long>(insns), serial_s, parallel_s,

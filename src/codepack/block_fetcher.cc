@@ -1,0 +1,330 @@
+#include "block_fetcher.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace cps
+{
+namespace codepack
+{
+
+BlockFetcher::Options
+BlockFetcher::Options::fromEnv()
+{
+    Options o;
+    o.slots = defaultBlockCacheSlots();
+    if (const char *env = std::getenv("CPS_BLOCK_PREFETCH")) {
+        std::string v(env);
+        if (v == "0" || v == "off")
+            o.prefetch = false;
+        else if (v == "async")
+            o.async = true;
+        else if (!v.empty() && v != "1" && v != "sync")
+            cps_warn("ignoring malformed CPS_BLOCK_PREFETCH='%s' "
+                     "(expected 0|off|sync|async)", env);
+    }
+    return o;
+}
+
+BlockFetcher::BlockFetcher(const Decompressor &decomp, Options opts,
+                           StatSet *stats)
+    : decomp_(decomp), opts_(opts)
+{
+    if (opts_.slots < 1)
+        opts_.slots = 1;
+    slab_.resize(opts_.slots);
+    map_.assign(decomp_.image().numBlocks(), kInvalid);
+    if (stats) {
+        statHits_ = &stats->scalar("hostpf.hits");
+        statFills_ = &stats->scalar("hostpf.fills");
+        statPfIssued_ = &stats->scalar("hostpf.prefetch_issued");
+        statPfHits_ = &stats->scalar("hostpf.prefetch_hits");
+    }
+}
+
+BlockFetcher::~BlockFetcher()
+{
+    // Draining the pool runs every remaining task; a span the consumer
+    // stole leaves its task a no-op. After the join nothing touches
+    // span storage.
+    pool_.reset();
+    inflight_.clear();
+}
+
+const DecodedBlock &
+BlockFetcher::get(u32 group, u32 block)
+{
+    return getFlat(group * kBlocksPerGroup + block);
+}
+
+const DecodedBlock &
+BlockFetcher::getFlat(u32 flat)
+{
+    train(flat);
+    u32 i = map_[flat];
+    if (i != kInvalid) {
+        if (head_ != i) {
+            unlink(i);
+            pushFront(i);
+        }
+        Entry &e = slab_[i];
+        const DecodedBlock *blk = &e.blk;
+        if (e.span) {
+            SpecSpan &s = *e.span;
+            if (!s.done)
+                resolveSpan(s);
+            blk = &s.blks[e.lane];
+        }
+        if (e.prefetched) {
+            // First touch of a speculatively decoded block.
+            e.prefetched = false;
+            ++pfHits_;
+            if (statPfHits_)
+                statPfHits_->inc();
+        } else {
+            ++hits_;
+            if (statHits_)
+                statHits_->inc();
+        }
+        // The entry stays MRU through the speculative round (at most
+        // slots-1 inserts), so the returned reference — slab storage
+        // or span storage pinned by e.span — outlives the round.
+        issuePrefetches(flat);
+        return *blk;
+    }
+
+    u32 slot = claimSlot(flat);
+    Entry &e = slab_[slot];
+    e.blk = decomp_.decompressFlatBlock(flat);
+    pushFront(slot);
+    ++fills_;
+    if (statFills_)
+        statFills_->inc();
+    issuePrefetches(flat);
+    return e.blk;
+}
+
+void
+BlockFetcher::unlink(u32 i)
+{
+    Entry &e = slab_[i];
+    if (e.prev != kInvalid)
+        slab_[e.prev].next = e.next;
+    else
+        head_ = e.next;
+    if (e.next != kInvalid)
+        slab_[e.next].prev = e.prev;
+    else
+        tail_ = e.prev;
+    e.prev = e.next = kInvalid;
+}
+
+void
+BlockFetcher::pushFront(u32 i)
+{
+    Entry &e = slab_[i];
+    e.prev = kInvalid;
+    e.next = head_;
+    if (head_ != kInvalid)
+        slab_[head_].prev = i;
+    head_ = i;
+    if (tail_ == kInvalid)
+        tail_ = i;
+}
+
+u32
+BlockFetcher::claimSlot(u32 flat)
+{
+    u32 i = map_[flat];
+    if (i != kInvalid) {
+        // Replacing a resident block (a frontier-tracked span can
+        // cover one that survived an earlier run): reuse its slot so
+        // the map stays one-slot-per-flat.
+        unlink(i);
+    } else if (live_ < opts_.slots) {
+        i = live_++;
+    } else {
+        i = tail_;
+        unlink(i);
+        map_[slab_[i].flat] = kInvalid;
+    }
+    Entry &e = slab_[i];
+    e.flat = flat;
+    e.prefetched = false;
+    e.span.reset();
+    map_[flat] = i;
+    return i;
+}
+
+void
+BlockFetcher::train(u32 flat)
+{
+    if (haveLast_ && lastFlat_ == flat)
+        return;
+    if (haveLast_) {
+        s64 s = static_cast<s64>(flat) - static_cast<s64>(lastFlat_);
+        if (s == stride_)
+            ++conf_;
+        else {
+            stride_ = s;
+            conf_ = 1;
+            frontier_ = 0; // new run: re-anchor at the next trigger
+        }
+    }
+    haveLast_ = true;
+    lastFlat_ = flat;
+}
+
+void
+BlockFetcher::issuePrefetches(u32 flat)
+{
+    if (!opts_.prefetch || conf_ < 2 || stride_ == 0)
+        return;
+    // Clamp the window to half the cache. Beyond that, speculative
+    // inserts land on top of predicted-but-unclaimed entries — the
+    // next blocks the caller will ask for — and the whole window
+    // becomes wasted decode (measured: a 48-deep window in a 64-slot
+    // cache turns ~100% of predictions into evict-before-claim). The
+    // clamp also keeps the entry the caller holds a reference to MRU
+    // through the round.
+    unsigned depth = std::min(opts_.depth, opts_.slots / 2);
+    if (depth == 0)
+        return;
+
+    s64 nblocks = static_cast<s64>(map_.size());
+
+    // Unit stride (sequential code) is the hot shape: a frontier marks
+    // how far the current run has already been covered, so each access
+    // extends coverage instead of rescanning the cache, and decodes
+    // are dispatched only in full spans to amortize task-dispatch
+    // overhead (the partial tail re-qualifies once the window slides).
+    if (stride_ == 1) {
+        s64 lo = std::max<s64>(frontier_, static_cast<s64>(flat) + 1);
+        s64 hi =
+            std::min<s64>(nblocks, static_cast<s64>(flat) + 1 + depth);
+        u32 flats[kSpanBlocks];
+        while (hi - lo >= kSpanBlocks) {
+            for (unsigned l = 0; l < kSpanBlocks; ++l)
+                flats[l] = static_cast<u32>(lo) + l;
+            issueSpan(flats, kSpanBlocks, true);
+            lo += kSpanBlocks;
+        }
+        frontier_ = static_cast<u32>(std::max<s64>(frontier_, lo));
+        return;
+    }
+
+    // Non-unit strides predict far fewer blocks per round; gather the
+    // not-yet-resident predictions into one (non-contiguous) span.
+    u32 preds[kSpanBlocks];
+    unsigned n = 0;
+    unsigned ndepth = std::min(depth, kSpanBlocks);
+    for (unsigned k = 1; k <= ndepth; ++k) {
+        s64 p = static_cast<s64>(flat) + stride_ * static_cast<s64>(k);
+        if (p < 0 || p >= nblocks)
+            break;
+        if (map_[static_cast<u32>(p)] == kInvalid)
+            preds[n++] = static_cast<u32>(p);
+    }
+    if (n > 0)
+        issueSpan(preds, n, false);
+}
+
+void
+BlockFetcher::decodeInto(const u32 *flats, unsigned count,
+                         bool contiguous, DecodedBlock *out) const
+{
+    if (contiguous)
+        decomp_.decompressBlocks(flats[0], count, out);
+    else
+        for (unsigned l = 0; l < count; ++l)
+            out[l] = decomp_.decompressFlatBlock(flats[l]);
+}
+
+void
+BlockFetcher::resolveSpan(SpecSpan &s)
+{
+    int st = s.state.load(std::memory_order_acquire);
+    if (st == SpecSpan::Queued &&
+        s.state.compare_exchange_strong(st, SpecSpan::Running,
+                                        std::memory_order_acq_rel)) {
+        decodeInto(s.flats.data(), s.count, s.contiguous,
+                   s.blks.data());
+        s.state.store(SpecSpan::Done, std::memory_order_release);
+    } else {
+        // The worker is mid-decode: at most a few microseconds away.
+        // Spin politely; fall back to yielding only if it drags on
+        // (e.g. the worker got descheduled).
+        unsigned spins = 0;
+        while (s.state.load(std::memory_order_acquire) !=
+               SpecSpan::Done) {
+            if (++spins > 4096) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+    }
+    s.done = true;
+}
+
+void
+BlockFetcher::issueSpan(const u32 *flats, unsigned count,
+                        bool contiguous)
+{
+    pfIssued_ += count;
+    if (statPfIssued_)
+        statPfIssued_->inc(count);
+
+    if (!opts_.async) {
+        // Inline speculation: batched decode into the reusable
+        // scratch, then park each block in its slab entry. No
+        // allocation, no atomics.
+        decodeInto(flats, count, contiguous, scratch_.data());
+        for (unsigned l = 0; l < count; ++l) {
+            u32 slot = claimSlot(flats[l]);
+            Entry &e = slab_[slot];
+            e.prefetched = true;
+            e.blk = scratch_[l];
+            pushFront(slot);
+        }
+        return;
+    }
+
+    auto span = std::make_shared<SpecSpan>();
+    std::copy(flats, flats + count, span->flats.begin());
+    span->count = count;
+    span->contiguous = contiguous;
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(
+            std::min(4u, defaultThreadCount()));
+    while (inflight_.size() >= kMaxInflight) {
+        resolveSpan(*inflight_.front());
+        inflight_.pop_front();
+    }
+    inflight_.push_back(span);
+    const BlockFetcher *self = this;
+    pool_->submit([span, self] {
+        int st = SpecSpan::Queued;
+        if (!span->state.compare_exchange_strong(
+                st, SpecSpan::Running, std::memory_order_acq_rel))
+            return; // the consumer stole it
+        self->decodeInto(span->flats.data(), span->count,
+                         span->contiguous, span->blks.data());
+        span->state.store(SpecSpan::Done, std::memory_order_release);
+    });
+
+    for (unsigned l = 0; l < count; ++l) {
+        u32 slot = claimSlot(span->flats[l]);
+        Entry &e = slab_[slot];
+        e.prefetched = true;
+        e.span = span;
+        e.lane = l;
+        pushFront(slot);
+    }
+}
+
+} // namespace codepack
+} // namespace cps

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Scored host-side prefetch cache over the functional decompressor —
+ * the successor of the direct-mapped BlockCache memo.
+ *
+ * The fetcher watches the flat-block access sequence, confirms a
+ * stride (sequential fetch is stride 1), and speculatively decodes the
+ * predicted next blocks with the batched multi-lane kernel
+ * (Decompressor::decompressBlocks) on pool workers, so host decode
+ * overlaps the caller's own work (simulated timing refills, software
+ * traps). Decoded blocks live in an LRU-of-N cache.
+ *
+ * The hot path is allocation-free: entries live in a fixed slab with
+ * intrusive LRU links, the flat->slot map is a dense vector (flat
+ * block numbers are small and bounded by the image), speculative
+ * decodes are dispatched in up-to-16-block spans to amortize
+ * task-dispatch cost, and a claimed block is returned by reference
+ * into the span's storage — no copy.
+ *
+ * Determinism: every cache decision — scoring, issue, eviction, claim,
+ * every counter — happens on the caller's thread as a pure function of
+ * the access sequence. Workers only write into span storage that the
+ * caller reads after acquiring the span's Done state (a happens-before
+ * edge), and a span the pool has not started yet is stolen and decoded
+ * inline — who decodes never changes what is decoded — so hit/fill/
+ * prefetch counters are byte-identical across sync and async modes,
+ * pool widths, and runs. The pool is created lazily on first
+ * speculative issue, which keeps forked cell workers (CPS_ISOLATE=1)
+ * safe: each child builds its own pool after the fork.
+ *
+ * Inline (sync) speculation is the default: for a decode-bound caller
+ * the batched kernel on the consumer's own thread beats the pool
+ * handoff (wakeup latency costs more than the decode itself — see
+ * DESIGN.md). Async pays off when the caller computes between fetches,
+ * as the simulator does; opt in with CPS_BLOCK_PREFETCH=async.
+ *
+ * Knobs (read per-construction, see Options::fromEnv):
+ *   CPS_BLOCK_CACHE_SLOTS  cache capacity (default 64)
+ *   CPS_BLOCK_PREFETCH     "0"/"off" = plain LRU memo, "async" =
+ *                          speculative decode on pool workers,
+ *                          "1"/"sync" (default) = speculative batched
+ *                          decode inline on the caller
+ */
+
+#ifndef CPS_CODEPACK_BLOCK_FETCHER_HH
+#define CPS_CODEPACK_BLOCK_FETCHER_HH
+
+#include <array>
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/threadpool.hh"
+#include "decompressor.hh"
+
+namespace cps
+{
+namespace codepack
+{
+
+/** Scored prefetching LRU memo of decoded blocks. */
+class BlockFetcher
+{
+  public:
+    struct Options
+    {
+        /** LRU cache capacity in blocks (min 1). */
+        unsigned slots = 64;
+        /** Speculatively decode predicted blocks at all. */
+        bool prefetch = true;
+        /** Run speculative decodes on pool workers (else inline). */
+        bool async = false;
+        /**
+         * Prediction window in blocks ahead of the last access.
+         * Clamped to slots/2 so speculative inserts can never evict
+         * predicted-but-unclaimed blocks (which would turn the whole
+         * window into wasted decode).
+         */
+        unsigned depth = 32;
+
+        /** Reads CPS_BLOCK_CACHE_SLOTS / CPS_BLOCK_PREFETCH afresh. */
+        static Options fromEnv();
+    };
+
+    /** Blocks decoded per speculative span (one pool dispatch). */
+    static constexpr unsigned kSpanBlocks = 16;
+
+    /**
+     * @param decomp decompressor to memoize (must outlive the fetcher)
+     * @param opts knobs; defaults come from the environment
+     * @param stats optional registry for "hostpf." counters
+     */
+    explicit BlockFetcher(const Decompressor &decomp,
+                          Options opts = Options::fromEnv(),
+                          StatSet *stats = nullptr);
+
+    /** Waits out in-flight speculative decodes, then joins workers. */
+    ~BlockFetcher();
+
+    BlockFetcher(const BlockFetcher &) = delete;
+    BlockFetcher &operator=(const BlockFetcher &) = delete;
+
+    /**
+     * The decoded block, from the cache when present. The reference
+     * stays valid until the next get() (same contract as BlockCache).
+     */
+    const DecodedBlock &get(u32 group, u32 block);
+
+    /** As get(group, block), keyed by flat block number. */
+    const DecodedBlock &getFlat(u32 flat);
+
+    u64 hits() const { return hits_; }
+    u64 fills() const { return fills_; }
+    u64 prefetchIssued() const { return pfIssued_; }
+    /** First-touch claims of speculatively decoded blocks. */
+    u64 prefetchHits() const { return pfHits_; }
+    unsigned slots() const { return opts_.slots; }
+    const Options &options() const { return opts_; }
+
+  private:
+    /** One batched speculative decode in flight (or finished). */
+    struct SpecSpan
+    {
+        enum : int { Queued = 0, Running = 1, Done = 2 };
+
+        std::array<u32, kSpanBlocks> flats;
+        unsigned count = 0;
+        bool contiguous = true;
+        std::array<DecodedBlock, kSpanBlocks> blks;
+        /**
+         * Decode ownership: a worker (or the consumer, stealing a span
+         * the pool has not started) CASes Queued->Running, decodes,
+         * and release-stores Done; blks is read only after an
+         * acquire-load of Done.
+         */
+        std::atomic<int> state{Queued};
+        /** Consumer-side memo: Done already observed. */
+        bool done = false;
+    };
+
+    struct Entry
+    {
+        u32 flat = kInvalid;
+        bool prefetched = false; ///< speculative, not yet claimed
+        std::shared_ptr<SpecSpan> span; ///< non-null for span lanes
+        unsigned lane = 0;              ///< slot in span->blks
+        DecodedBlock blk;               ///< demand-fill storage
+        u32 prev = kInvalid, next = kInvalid; ///< intrusive LRU chain
+    };
+    static constexpr u32 kInvalid = ~0u;
+
+    void unlink(u32 i);
+    void pushFront(u32 i);
+    /** A slot for @p flat: its resident slot, a fresh one, or the LRU
+     *  victim; unlinked from the chain, map updated. */
+    u32 claimSlot(u32 flat);
+    void train(u32 flat);
+    void issuePrefetches(u32 flat);
+    void issueSpan(const u32 *flats, unsigned count, bool contiguous);
+    void decodeInto(const u32 *flats, unsigned count, bool contiguous,
+                    DecodedBlock *out) const;
+    /**
+     * Ensures @p s is decoded: claims and decodes it inline when the
+     * pool has not started it (work stealing — the batched inline
+     * decode is cheaper than idling), else waits for the worker.
+     */
+    void resolveSpan(SpecSpan &s);
+
+    const Decompressor &decomp_;
+    Options opts_;
+
+    std::vector<Entry> slab_;  ///< fixed; intrusive links, no realloc
+    u32 head_ = kInvalid;      ///< most recently used
+    u32 tail_ = kInvalid;      ///< least recently used
+    u32 live_ = 0;             ///< slab entries handed out so far
+    std::vector<u32> map_;     ///< flat -> slab index (dense)
+
+    // Access scorer.
+    bool haveLast_ = false;
+    u32 lastFlat_ = 0;
+    s64 stride_ = 0;
+    unsigned conf_ = 0;
+    /** One past the highest flat covered by the current unit-stride
+     *  prefetch run; avoids rescanning the cache every access. */
+    u32 frontier_ = 0;
+
+    /** Sync-mode decode target: reused, so no per-span allocation. */
+    std::array<DecodedBlock, kSpanBlocks> scratch_;
+
+    /** Spans submitted to the pool and not yet known-finished. */
+    std::deque<std::shared_ptr<SpecSpan>> inflight_;
+    static constexpr unsigned kMaxInflight = 4;
+
+    std::unique_ptr<ThreadPool> pool_; ///< lazily created (fork safety)
+
+    u64 hits_ = 0;
+    u64 fills_ = 0;
+    u64 pfIssued_ = 0;
+    u64 pfHits_ = 0;
+    Counter *statHits_ = nullptr;
+    Counter *statFills_ = nullptr;
+    Counter *statPfIssued_ = nullptr;
+    Counter *statPfHits_ = nullptr;
+};
+
+} // namespace codepack
+} // namespace cps
+
+#endif // CPS_CODEPACK_BLOCK_FETCHER_HH

@@ -600,9 +600,31 @@ Decompressor::tryDecompressAll() const
     return out;
 }
 
+unsigned
+defaultBlockCacheSlots()
+{
+    const char *env = std::getenv("CPS_BLOCK_CACHE_SLOTS");
+    if (!env || !*env)
+        return 64;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (!end || *end || v < 1 || v > (1 << 20)) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            cps_warn("ignoring malformed CPS_BLOCK_CACHE_SLOTS='%s' "
+                     "(expected a positive integer)", env);
+        }
+        return 64;
+    }
+    return static_cast<unsigned>(v);
+}
+
 BlockCache::BlockCache(const Decompressor &decomp, unsigned slots)
     : decomp_(decomp)
 {
+    if (slots == 0)
+        slots = defaultBlockCacheSlots();
     unsigned n = 1;
     while (n < slots)
         n <<= 1;

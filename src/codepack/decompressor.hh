@@ -203,14 +203,24 @@ class Decompressor
  * statistics are computed from the returned block exactly as before.
  * Not thread-safe; each Machine owns its own instance.
  */
+
+/**
+ * Default capacity of the host-side decoded-block memos (BlockCache and
+ * BlockFetcher): the CPS_BLOCK_CACHE_SLOTS environment variable when
+ * set to a positive integer, otherwise 64. Read afresh on every call so
+ * tests can flip it between constructions.
+ */
+unsigned defaultBlockCacheSlots();
+
 class BlockCache
 {
   public:
     /**
      * @param decomp the decompressor to memoize (must outlive the cache)
-     * @param slots direct-mapped slot count (rounded up to a power of 2)
+     * @param slots direct-mapped slot count (rounded up to a power of
+     *        2); 0 means defaultBlockCacheSlots()
      */
-    explicit BlockCache(const Decompressor &decomp, unsigned slots = 64);
+    explicit BlockCache(const Decompressor &decomp, unsigned slots = 0);
 
     /** The decoded block, from the memo when present. */
     const DecodedBlock &get(u32 group, u32 block);

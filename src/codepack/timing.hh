@@ -23,6 +23,7 @@
 
 #include <array>
 
+#include "block_fetcher.hh"
 #include "cache/index_cache.hh"
 #include "common/stats.hh"
 #include "decompressor.hh"
@@ -32,6 +33,29 @@ namespace cps
 {
 namespace codepack
 {
+
+/** Modeled block prefetcher ahead of the decompressor (ablation knob). */
+enum class PrefetchKind : u8
+{
+    None,      ///< the paper's design: output buffer only
+    NextBlock, ///< always predict the next sequential block(s)
+    Stride,    ///< confirmed-stride predictor over the block sequence
+};
+
+/** Short stable spelling ("none"/"next"/"stride"). */
+inline const char *
+prefetchKindName(PrefetchKind k)
+{
+    switch (k) {
+      case PrefetchKind::None:
+        return "none";
+      case PrefetchKind::NextBlock:
+        return "next";
+      case PrefetchKind::Stride:
+        return "stride";
+    }
+    return "?";
+}
 
 /** Decompressor hardware configuration. */
 struct DecompressorConfig
@@ -45,6 +69,14 @@ struct DecompressorConfig
     bool burstIndexFill = false;
     /** Decode bandwidth in instructions per cycle (1, 2, ... 16). */
     unsigned decodeRate = 1;
+    /** Block prefetcher; None reproduces the paper's timing exactly. */
+    PrefetchKind prefetch = PrefetchKind::None;
+    /** Blocks predicted per trigger; also the prefetch-buffer count. */
+    unsigned prefetchDepth = 1;
+    /** Index-cache victim policy (ablation; the paper uses true LRU). */
+    IndexReplacement indexReplacement = IndexReplacement::Lru;
+    /** Index-cache set count; 1 = fully associative (the paper). */
+    unsigned indexCacheSets = 1;
 
     /** The paper's optimized configuration (§5.3). */
     static DecompressorConfig
@@ -120,18 +152,45 @@ class DecompressorModel
     Decompressor decomp_;
     // Host-side memo: simulated hardware re-decodes a block on every
     // miss, but the functional result never changes, so the host reuses
-    // it. reset() deliberately leaves the memo alone — it holds pure
-    // functions of the (immutable) image, not simulated state.
-    BlockCache blockCache_;
+    // it — and speculatively decodes ahead of the access pattern on
+    // pool workers (BlockFetcher). reset() deliberately leaves the memo
+    // alone — it holds pure functions of the (immutable) image, not
+    // simulated state.
+    BlockFetcher fetcher_;
     MainMemory &mem_;
     DecompressorConfig cfg_;
     IndexCache idxCache_;
 
-    // Output buffer: the most recently decompressed block.
-    bool bufValid_ = false;
-    u32 bufGroup_ = 0;
-    u32 bufBlock_ = 0;
-    std::array<Cycle, kBlockInsns> bufReady_{};
+    /**
+     * Output buffers. Slot 0 is the demand buffer (the paper's single
+     * 16-instruction output buffer); slots 1..prefetchDepth hold
+     * speculatively decoded blocks when a prefetcher is configured.
+     */
+    struct BlockBuffer
+    {
+        bool valid = false;
+        bool prefetched = false; ///< speculative fill, not yet claimed
+        u32 group = 0;
+        u32 block = 0;
+        std::array<Cycle, kBlockInsns> ready{};
+    };
+    std::vector<BlockBuffer> buffers_;
+    unsigned pfRotor_ = 0; ///< round-robin prefetch-slot allocator
+
+    // Stride predictor over the demanded flat-block sequence.
+    bool havePrevReq_ = false;
+    u32 prevReqFlat_ = 0;
+    s64 lastStride_ = 0;
+    unsigned strideConf_ = 0;
+    /** When the serial decode engine last finished (prefetches queue). */
+    Cycle engineBusyUntil_ = 0;
+
+    /** Decodes one block's timing: burst + serial decode from @p start. */
+    std::array<Cycle, kBlockInsns> decodeTiming(u32 group, u32 block,
+                                                Cycle idx_ready,
+                                                BurstResult *code_out);
+    /** Issues speculative decodes predicted after demanding @p flat. */
+    void issuePrefetches(u32 flat, Cycle now);
 
     MissTrace trace_;
 
@@ -140,6 +199,8 @@ class DecompressorModel
     Counter &statIdxLookups_;
     Counter &statIdxHits_;
     Counter &statInsnsDecoded_;
+    Counter &statPfIssued_;
+    Counter &statPfHits_;
 };
 
 } // namespace codepack

@@ -33,7 +33,7 @@ constexpr u32 kFrameResult = 1;
 constexpr size_t kMaxResultPayload = 1u << 20;
 
 /** Envelope format version (bump on any field change). */
-constexpr u8 kEnvelopeVersion = 1;
+constexpr u8 kEnvelopeVersion = 2;
 
 /**
  * fork(2) from a threaded parent is safe for the child only if no
@@ -321,6 +321,8 @@ encodeRunOutcome(const RunOutcome &out)
     put64(bytes, out.icacheMisses);
     put64(bytes, out.bufferHits);
     put64(bytes, out.missLatencyTotal);
+    put64(bytes, out.prefetchIssued);
+    put64(bytes, out.prefetchHits);
     return bytes;
 }
 
@@ -351,6 +353,8 @@ decodeRunOutcomeChecked(const std::vector<u8> &bytes)
     out.icacheMisses = cur.get64();
     out.bufferHits = cur.get64();
     out.missLatencyTotal = cur.get64();
+    out.prefetchIssued = cur.get64();
+    out.prefetchHits = cur.get64();
     if (!cur.ok() || cur.remaining() != 0) {
         return decodeErrorAtByte(DecodeStatus::Truncated, cur.pos(),
                                  "result envelope truncated or oversized");
@@ -366,10 +370,10 @@ cellKey(const RunRequest &req)
     const MachineConfig &c = req.cfg;
     const PipelineConfig &p = c.pipeline;
     std::string key = strfmt(
-        "cell1;insns=%llu;mode=%u;machine=%s;"
+        "cell2;insns=%llu;mode=%u;machine=%s;"
         "pipe=%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u;"
         "ic=%u,%u,%u,%u;dc=%u,%u,%u,%u;mem=%u,%llu,%llu;model=%u;"
-        "decomp=%u,%u,%u,%u,%u;sw=%llu,%llu,%llu,%llu;",
+        "decomp=%u,%u,%u,%u,%u,%u,%u,%u,%u;sw=%llu,%llu,%llu,%llu,%u,%u;",
         static_cast<unsigned long long>(req.maxInsns),
         static_cast<unsigned>(req.mode), c.name.c_str(),
         p.inOrder ? 1u : 0u, p.width, p.fetchQueue, p.ruuSize, p.lsqSize,
@@ -386,10 +390,15 @@ cellKey(const RunRequest &req)
         c.decomp.indexCacheLines, c.decomp.indexesPerLine,
         c.decomp.perfectIndexCache ? 1u : 0u,
         c.decomp.burstIndexFill ? 1u : 0u, c.decomp.decodeRate,
+        static_cast<unsigned>(c.decomp.prefetch), c.decomp.prefetchDepth,
+        static_cast<unsigned>(c.decomp.indexReplacement),
+        c.decomp.indexCacheSets,
         static_cast<unsigned long long>(c.software.trapOverhead),
         static_cast<unsigned long long>(c.software.cyclesPerInsn),
         static_cast<unsigned long long>(c.software.copyCyclesPerInsn),
-        static_cast<unsigned long long>(c.software.returnOverhead));
+        static_cast<unsigned long long>(c.software.returnOverhead),
+        static_cast<unsigned>(c.software.prefetch),
+        c.software.prefetchDepth);
     // The watchdog can change a cell's outcome (a stall aborts), so its
     // knobs are inputs too.
     key += strfmt("wd=%llu,%u;",

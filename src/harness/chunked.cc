@@ -210,6 +210,10 @@ runMachineChunked(const BenchProgram &bench, const MachineConfig &cfg,
     out.icacheMisses = value("icache.misses");
     out.bufferHits = value("decomp.buffer_hits");
     out.missLatencyTotal = value("icache.miss_latency_total");
+    out.prefetchIssued = value("decomp.prefetch_issued") +
+                         value("swdecomp.prefetch_issued");
+    out.prefetchHits = value("decomp.prefetch_hits") +
+                       value("swdecomp.prefetch_hits");
     return out;
 }
 

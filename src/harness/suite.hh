@@ -136,6 +136,10 @@ struct RunOutcome
     u64 icacheMisses = 0;
     u64 bufferHits = 0;
     u64 missLatencyTotal = 0; ///< sum of critical-word miss latencies
+    /** Modeled prefetcher activity (decomp.* or swdecomp.*, whichever
+     *  code model ran; zero under PrefetchKind::None). */
+    u64 prefetchIssued = 0;
+    u64 prefetchHits = 0;
 };
 
 /** How runMachine sources the instruction stream. */

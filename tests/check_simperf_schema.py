@@ -9,7 +9,7 @@ trajectory record without any package installs.
 import json
 import sys
 
-EXPECTED_SCHEMA = 6
+EXPECTED_SCHEMA = 7
 
 # section -> keys that must be present (values are checked to be of the
 # right shape, not of any particular magnitude: wall-clock numbers are
@@ -36,6 +36,16 @@ REQUIRED = {
         "lut2_ns_per_block",
         "batched_ns_per_block",
         "batched_speedup",
+    ],
+    "hostpf": [
+        "slots",
+        "direct_blocks_per_sec",
+        "lru_blocks_per_sec",
+        "fetcher_blocks_per_sec",
+        "warm_refill_speedup",
+        "prefetch_issued",
+        "prefetch_hits",
+        "prefetch_hit_rate",
     ],
     "simulation": [
         "native_insns_per_sec",
@@ -112,6 +122,23 @@ def main():
         if not (isinstance(dec[key], (int, float)) and dec[key] > 0):
             fail("decode.%s should be a positive number, got %r"
                  % (key, dec[key]))
+
+    pf = doc["hostpf"]
+    for key in (
+        "slots",
+        "direct_blocks_per_sec",
+        "lru_blocks_per_sec",
+        "fetcher_blocks_per_sec",
+        "warm_refill_speedup",
+    ):
+        if not (isinstance(pf[key], (int, float)) and pf[key] > 0):
+            fail("hostpf.%s should be a positive number, got %r"
+                 % (key, pf[key]))
+    if pf["prefetch_hits"] > pf["prefetch_issued"]:
+        fail("hostpf claims more prefetch hits than issued")
+    if not 0.0 <= pf["prefetch_hit_rate"] <= 1.0:
+        fail("hostpf.prefetch_hit_rate %r outside [0, 1]"
+             % pf["prefetch_hit_rate"])
 
     acc = doc["chunked"]["accuracy"]
     if not (isinstance(acc, list) and len(acc) == 3):

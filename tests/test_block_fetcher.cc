@@ -1,0 +1,303 @@
+/**
+ * @file
+ * BlockFetcher tests: byte-identity of every cached/speculated block
+ * against the checked bit-serial reference across all suite profiles
+ * and worker counts, LRU aliasing/eviction edge cases, counter
+ * conservation, sync-vs-async equivalence, and the environment knobs.
+ * The async cases double as the TSan workload for the span claim/steal
+ * protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codepack/block_fetcher.hh"
+#include "harness/suite.hh"
+
+namespace cps
+{
+namespace codepack
+{
+namespace
+{
+
+/** Scoped setenv/unsetenv so knob tests cannot leak into each other. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old) {
+            hadOld_ = true;
+            old_ = old;
+        }
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~EnvGuard()
+    {
+        if (hadOld_)
+            setenv(name_, old_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool hadOld_ = false;
+    std::string old_;
+};
+
+void
+expectBlockEq(const DecodedBlock &got, const DecodedBlock &want,
+              u32 flat)
+{
+    ASSERT_EQ(got.words, want.words) << "flat block " << flat;
+    ASSERT_EQ(got.endBit, want.endBit) << "flat block " << flat;
+    ASSERT_EQ(got.byteOffset, want.byteOffset) << "flat block " << flat;
+    ASSERT_EQ(got.byteLen, want.byteLen) << "flat block " << flat;
+}
+
+/**
+ * Sweeps @p fetcher over every block of @p img — forward, then a
+ * strided revisit — checking each returned block against the checked
+ * bit-serial reference decoder.
+ */
+void
+checkByteIdentity(const CompressedImage &img, BlockFetcher &fetcher)
+{
+    Decompressor ref(img, DecodeKernel::Checked);
+    u32 n = img.numBlocks();
+    for (u32 f = 0; f < n; ++f) {
+        Result<DecodedBlock> want =
+            ref.tryDecompressBlock(f / kBlocksPerGroup,
+                                   f % kBlocksPerGroup);
+        ASSERT_TRUE(want.ok());
+        expectBlockEq(fetcher.getFlat(f), *want, f);
+    }
+    // A non-unit revisit exercises the strided prediction path and
+    // claims of still-resident entries.
+    for (u32 f = 0; f + 3 < n; f += 3) {
+        Result<DecodedBlock> want =
+            ref.tryDecompressBlock(f / kBlocksPerGroup,
+                                   f % kBlocksPerGroup);
+        ASSERT_TRUE(want.ok());
+        expectBlockEq(fetcher.getFlat(f), *want, f);
+    }
+}
+
+TEST(BlockFetcher, ByteIdenticalToReferenceOnAllProfiles)
+{
+    for (const std::string &name : Suite::instance().names()) {
+        SCOPED_TRACE(name);
+        const BenchProgram &bench = Suite::instance().get(name);
+        Decompressor d(bench.image);
+        BlockFetcher::Options opts; // default: inline speculation
+        BlockFetcher fetcher(d, opts);
+        checkByteIdentity(bench.image, fetcher);
+        EXPECT_GT(fetcher.prefetchHits(), 0u);
+    }
+}
+
+TEST(BlockFetcher, ByteIdenticalAsyncAcrossWorkerCounts)
+{
+    const BenchProgram &bench = Suite::instance().get("go");
+    Decompressor d(bench.image);
+    for (const char *threads : {"1", "2", "8"}) {
+        SCOPED_TRACE(threads);
+        EnvGuard env("CPS_THREADS", threads);
+        BlockFetcher::Options opts;
+        opts.async = true;
+        BlockFetcher fetcher(d, opts); // pool sized on first issue
+        checkByteIdentity(bench.image, fetcher);
+        EXPECT_GT(fetcher.prefetchHits(), 0u);
+    }
+}
+
+TEST(BlockFetcher, GroupBlockKeyMatchesFlatKey)
+{
+    const BenchProgram &bench = Suite::instance().get("pegwit");
+    Decompressor d(bench.image);
+    BlockFetcher fetcher(d);
+    for (u32 g = 0; g < std::min<u32>(bench.image.numGroups(), 64);
+         ++g) {
+        for (u32 b = 0; b < kBlocksPerGroup; ++b) {
+            DecodedBlock got = fetcher.get(g, b);
+            expectBlockEq(fetcher.getFlat(g * kBlocksPerGroup + b), got,
+                          g * kBlocksPerGroup + b);
+        }
+    }
+}
+
+TEST(BlockFetcher, TinyCacheEvictsLeastRecentlyUsed)
+{
+    const BenchProgram &bench = Suite::instance().get("pegwit");
+    Decompressor d(bench.image);
+    BlockFetcher::Options opts;
+    opts.slots = 2;
+    opts.prefetch = false;
+    BlockFetcher f(d, opts);
+    ASSERT_GE(bench.image.numBlocks(), 3u);
+
+    f.getFlat(0); // fill {0}
+    f.getFlat(1); // fill {0,1}
+    f.getFlat(0); // hit, 0 becomes MRU
+    f.getFlat(2); // fill, evicts LRU=1 -> {0,2}
+    f.getFlat(0); // hit
+    f.getFlat(1); // fill again (was evicted) -> evicts 2
+    f.getFlat(2); // fill again
+    EXPECT_EQ(f.fills(), 5u);
+    EXPECT_EQ(f.hits(), 2u);
+    EXPECT_EQ(f.prefetchIssued(), 0u);
+}
+
+TEST(BlockFetcher, SingleSlotCacheStaysCorrect)
+{
+    const BenchProgram &bench = Suite::instance().get("pegwit");
+    Decompressor d(bench.image);
+    Decompressor ref(bench.image, DecodeKernel::Checked);
+    BlockFetcher::Options opts;
+    opts.slots = 1;
+    BlockFetcher f(d, opts); // prefetch on, but depth clamps to 0
+    u32 n = std::min<u32>(bench.image.numBlocks(), 64);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (u32 b = 0; b < n; ++b) {
+            Result<DecodedBlock> want = ref.tryDecompressBlock(
+                b / kBlocksPerGroup, b % kBlocksPerGroup);
+            ASSERT_TRUE(want.ok());
+            expectBlockEq(f.getFlat(b), *want, b);
+        }
+    }
+    EXPECT_EQ(f.prefetchIssued(), 0u);
+    EXPECT_EQ(f.fills(), static_cast<u64>(2 * n));
+}
+
+TEST(BlockFetcher, CountersConserveAccesses)
+{
+    const BenchProgram &bench = Suite::instance().get("go");
+    Decompressor d(bench.image);
+    u32 n = bench.image.numBlocks();
+    for (bool async : {false, true}) {
+        SCOPED_TRACE(async ? "async" : "sync");
+        BlockFetcher::Options opts;
+        opts.async = async;
+        BlockFetcher f(d, opts);
+        u64 accesses = 0;
+        // Sequential, strided, and pseudo-random phases.
+        for (u32 b = 0; b < n; ++b, ++accesses)
+            f.getFlat(b);
+        for (u32 b = 0; b + 7 < n; b += 7, ++accesses)
+            f.getFlat(b);
+        for (u32 i = 0; i < 1000; ++i, ++accesses)
+            f.getFlat((i * 2654435761u) % n);
+        EXPECT_EQ(f.hits() + f.fills() + f.prefetchHits(), accesses);
+        EXPECT_LE(f.prefetchHits(), f.prefetchIssued());
+    }
+}
+
+TEST(BlockFetcher, SyncAndAsyncProduceIdenticalCounters)
+{
+    const BenchProgram &bench = Suite::instance().get("cc1");
+    Decompressor d(bench.image);
+    u32 n = bench.image.numBlocks();
+    auto walk = [n](BlockFetcher &f) {
+        for (u32 b = 0; b < n; ++b)
+            f.getFlat(b);
+        for (u32 b = n; b-- > 0;)
+            f.getFlat(b);
+        for (u32 i = 0; i < 500; ++i)
+            f.getFlat((i * 40503u) % n);
+    };
+    BlockFetcher::Options sync_opts;
+    sync_opts.async = false;
+    BlockFetcher sync_f(d, sync_opts);
+    walk(sync_f);
+    BlockFetcher::Options async_opts;
+    async_opts.async = true;
+    BlockFetcher async_f(d, async_opts);
+    walk(async_f);
+    EXPECT_EQ(sync_f.hits(), async_f.hits());
+    EXPECT_EQ(sync_f.fills(), async_f.fills());
+    EXPECT_EQ(sync_f.prefetchIssued(), async_f.prefetchIssued());
+    EXPECT_EQ(sync_f.prefetchHits(), async_f.prefetchHits());
+}
+
+TEST(BlockFetcher, SlotsEnvKnobSetsCapacity)
+{
+    const BenchProgram &bench = Suite::instance().get("pegwit");
+    Decompressor d(bench.image);
+    {
+        EnvGuard env("CPS_BLOCK_CACHE_SLOTS", "8");
+        EXPECT_EQ(BlockFetcher::Options::fromEnv().slots, 8u);
+        BlockFetcher f(d);
+        EXPECT_EQ(f.slots(), 8u);
+    }
+    {
+        EnvGuard env("CPS_BLOCK_CACHE_SLOTS", nullptr);
+        EXPECT_EQ(BlockFetcher::Options::fromEnv().slots, 64u);
+    }
+}
+
+TEST(BlockFetcher, PrefetchEnvKnobSelectsMode)
+{
+    {
+        EnvGuard env("CPS_BLOCK_PREFETCH", "off");
+        BlockFetcher::Options o = BlockFetcher::Options::fromEnv();
+        EXPECT_FALSE(o.prefetch);
+    }
+    {
+        EnvGuard env("CPS_BLOCK_PREFETCH", "async");
+        BlockFetcher::Options o = BlockFetcher::Options::fromEnv();
+        EXPECT_TRUE(o.prefetch);
+        EXPECT_TRUE(o.async);
+    }
+    {
+        EnvGuard env("CPS_BLOCK_PREFETCH", nullptr);
+        BlockFetcher::Options o = BlockFetcher::Options::fromEnv();
+        EXPECT_TRUE(o.prefetch);
+        EXPECT_FALSE(o.async);
+    }
+}
+
+TEST(BlockFetcher, ConcurrentFetchersShareOneDecompressor)
+{
+    // Several async fetchers (each single-consumer, as required) over
+    // the same decompressor, running concurrently: exercises parallel
+    // decompressBlocks plus the claim/steal protocol under TSan.
+    const BenchProgram &bench = Suite::instance().get("go");
+    Decompressor d(bench.image);
+    Decompressor ref(bench.image, DecodeKernel::Checked);
+    u32 n = bench.image.numBlocks();
+    std::vector<std::thread> threads;
+    std::vector<int> failures(4, 0);
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            BlockFetcher::Options opts;
+            opts.async = true;
+            BlockFetcher f(d, opts);
+            for (u32 b = 0; b < n; ++b) {
+                u32 flat = (b + static_cast<u32>(t) * 17) % n;
+                const DecodedBlock &got = f.getFlat(flat);
+                Result<DecodedBlock> want = ref.tryDecompressBlock(
+                    flat / kBlocksPerGroup, flat % kBlocksPerGroup);
+                if (!want.ok() || got.words != (*want).words)
+                    ++failures[t];
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(failures[t], 0) << "thread " << t;
+}
+
+} // namespace
+} // namespace codepack
+} // namespace cps
