@@ -46,8 +46,11 @@ using Clock = std::chrono::steady_clock;
  * BENCH_simperf.json schema version, bumped whenever a key is added,
  * removed, or changes meaning. tests/check_simperf_schema.py pins the
  * emitted document against this number and its required keys.
+ * Schema 8: bench_ext_soft_errors may merge an optional "softerr"
+ * section (coverage, silent-rate, recovery-latency, and storage-cost
+ * aggregates of the soft-error campaigns).
  */
-constexpr int kSchema = 7;
+constexpr int kSchema = 8;
 
 double
 secondsSince(Clock::time_point start)

@@ -9,6 +9,9 @@
  *     --report           print the Table 3/4 style report (default)
  *     --no-raw-blocks    disable the raw-block escape
  *     --disasm <n>       disassemble the first n instructions
+ *     --ecc <kind>       per-block soft-error protection: off, crc8,
+ *                        crc16, secded (default from CPS_ECC, else off;
+ *                        protected images write `.cpi` version 3)
  *
  * Inputs: an assembly file, a saved program object, or '@name' for one
  * of the built-in benchmark profiles (e.g. @go).
@@ -22,7 +25,9 @@
 #include "common/byteio.hh"
 #include "isa/isa.hh"
 #include "asmkit/objfile.hh"
+#include "codepack/compressor.hh"
 #include "codepack/imagefile.hh"
+#include "common/ecc.hh"
 #include "common/table.hh"
 #include "progen/progen.hh"
 
@@ -86,7 +91,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: cpack <input.s|input.cpo|@bench> "
                      "[-o out.cpo] [-c out.cpi] [--no-raw-blocks] "
-                     "[--disasm N]\n");
+                     "[--disasm N] [--ecc off|crc8|crc16|secded]\n");
         return 1;
     }
 
@@ -94,6 +99,7 @@ main(int argc, char **argv)
     std::string obj_out, img_out;
     bool raw_blocks = true;
     unsigned disasm_count = 0;
+    ProtectKind protect = defaultProtectKind();
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "-o" && i + 1 < argc)
@@ -104,7 +110,12 @@ main(int argc, char **argv)
             raw_blocks = false;
         else if (arg == "--disasm" && i + 1 < argc)
             disasm_count = static_cast<unsigned>(atoi(argv[++i]));
-        else if (arg != "--report")
+        else if (arg == "--ecc" && i + 1 < argc) {
+            if (!parseProtectKind(argv[++i], protect))
+                cps_fatal("unknown protection kind '%s' (off, crc8, "
+                          "crc16, secded)",
+                          argv[i]);
+        } else if (arg != "--report")
             cps_fatal("unknown option '%s'", arg.c_str());
     }
 
@@ -128,6 +139,8 @@ main(int argc, char **argv)
     codepack::CompressorConfig ccfg;
     ccfg.allowRawBlocks = raw_blocks;
     codepack::CompressedImage img = codepack::compress(prog, ccfg);
+    if (protect != ProtectKind::None)
+        codepack::protectImage(img, protect);
 
     if (disasm_count > 0) {
         std::printf("disassembly (first %u instructions):\n",

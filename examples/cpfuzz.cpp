@@ -12,16 +12,28 @@
  *     --seed S        base seed                    (default 0x600d5eed)
  *     --no-crc        skip CRC verification at load (stress the decode
  *                     path's own structural defences)
+ *     --runtime-flips fuzz the *fetch* path instead of the loader:
+ *                     seeded in-memory upsets (stream / index / burst)
+ *                     against a running image, routed through the
+ *                     per-block protection and detect-and-refetch
+ *                     recovery of SoftErrorDomain
+ *     --ecc KIND      protection for --runtime-flips: off, crc8,
+ *                     crc16, secded               (default secded)
  *     --self-test-crash  crash deliberately (SIGSEGV) before fuzzing;
  *                     lets process-level fault campaigns verify that a
  *                     crashing fuzzer is reported as a crash
  *
  * Exit status (distinct codes so process-level campaigns can assert on
- * the three ways a fuzz run ends):
- *   0  clean — every corruption was detected, rejected, or benign
+ * the ways a fuzz run ends):
+ *   0  clean — every corruption was detected, rejected, corrected,
+ *      recovered, or benign
  *   1  fatal — bad usage or unloadable input (cps_fatal)
- *   2  detected corruption — at least one silently-wrong decode under
- *      CRC verification (the defect this fuzzer exists to surface)
+ *   2  corruption escaped — at least one silently-wrong decode while
+ *      the relevant defence (load CRC, or runtime protection) was on;
+ *      the defect this fuzzer exists to surface
+ *   3  detected-unrecoverable — --runtime-flips only: no silent
+ *      escapes, but some upsets exhausted the refetch budget and were
+ *      refused loudly (memory and backing store both corrupted)
  *   death by signal — the decode path itself crashed (or
  *      --self-test-crash); the wait status carries the signal
  */
@@ -37,6 +49,7 @@
 #include "common/byteio.hh"
 #include "common/table.hh"
 #include "fault/campaign.hh"
+#include "fault/soft_campaign.hh"
 #include "progen/progen.hh"
 
 using namespace cps;
@@ -48,6 +61,62 @@ namespace
  *  (1 is cps_fatal's code; signal deaths have no exit code at all). */
 constexpr int kExitClean = 0;
 constexpr int kExitCorruptionEscaped = 2;
+constexpr int kExitDetectedUnrecoverable = 3;
+
+/** Seeded runtime-upset campaign against the fetch path. */
+int
+runRuntimeFlips(const codepack::CompressedImage &img, ProtectKind protect,
+                unsigned trials, u64 seed)
+{
+    fault::SoftCampaignConfig cfg;
+    cfg.protect = protect;
+    cfg.trials = trials;
+    cfg.seed = seed;
+    std::printf("cpfuzz: runtime flips, protection %s, %u trials x %u "
+                "upset kinds\n",
+                protectKindName(protect), cfg.trials,
+                fault::kNumMemFaultKinds);
+    fault::SoftCampaignResult res = fault::runSoftCampaign(img, cfg);
+
+    TextTable t;
+    t.setTitle(strfmt("Runtime-upset coverage (%u upsets)", res.trials));
+    t.addHeader({"Upset kind", "clean", "corrected", "refetched",
+                 "detected", "silently-wrong"});
+    for (unsigned k = 0; k < fault::kNumMemFaultKinds; ++k) {
+        fault::MemFaultKind kind = fault::kAllMemFaultKinds[k];
+        auto cell = [&](fault::SoftOutcome o) {
+            return std::to_string(
+                res.byKindOutcome[k][static_cast<unsigned>(o)]);
+        };
+        t.addRow({memFaultKindName(kind),
+                  cell(fault::SoftOutcome::Clean),
+                  cell(fault::SoftOutcome::Corrected),
+                  cell(fault::SoftOutcome::Refetched),
+                  cell(fault::SoftOutcome::DetectedUnrecoverable),
+                  cell(fault::SoftOutcome::SilentWrong)});
+    }
+    t.addRule();
+    t.addRow({"total", std::to_string(res.count(fault::SoftOutcome::Clean)),
+              std::to_string(res.count(fault::SoftOutcome::Corrected)),
+              std::to_string(res.count(fault::SoftOutcome::Refetched)),
+              std::to_string(
+                  res.count(fault::SoftOutcome::DetectedUnrecoverable)),
+              std::to_string(res.silentWrong())});
+    t.print();
+
+    if (res.silentWrong() > 0) {
+        std::printf("\nfirst silently-wrong upset: %s\n",
+                    res.firstSilentWrong.describe().c_str());
+        if (protect != ProtectKind::None)
+            return kExitCorruptionEscaped;
+        std::printf("(protection was off; silent corruption of "
+                    "unprotected memory is expected there)\n");
+    }
+    if (protect != ProtectKind::None &&
+        res.count(fault::SoftOutcome::DetectedUnrecoverable) > 0)
+        return kExitDetectedUnrecoverable;
+    return kExitClean;
+}
 
 } // namespace
 
@@ -56,6 +125,8 @@ main(int argc, char **argv)
 {
     std::string input = "@go";
     fault::CampaignConfig cfg;
+    bool runtime_flips = false;
+    ProtectKind protect = ProtectKind::SecDed;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -71,6 +142,14 @@ main(int argc, char **argv)
             cfg.seed = std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--no-crc") {
             cfg.verifyCrc = false;
+        } else if (arg == "--runtime-flips") {
+            runtime_flips = true;
+        } else if (arg == "--ecc") {
+            std::string kind = next();
+            if (!parseProtectKind(kind.c_str(), protect))
+                cps_fatal("unknown protection kind '%s' (off, crc8, "
+                          "crc16, secded)",
+                          kind.c_str());
         } else if (arg == "--self-test-crash") {
             std::fprintf(stderr, "cpfuzz: --self-test-crash: raising "
                                  "SIGSEGV\n");
@@ -100,6 +179,8 @@ main(int argc, char **argv)
     }
 
     codepack::CompressedImage img = codepack::compress(prog);
+    if (runtime_flips)
+        return runRuntimeFlips(img, protect, cfg.trials, cfg.seed);
     std::printf("cpfuzz: %s, %u bytes compressed, %u trials x %u fault "
                 "kinds, CRC %s\n",
                 input.c_str(), static_cast<unsigned>(img.bytes.size()),

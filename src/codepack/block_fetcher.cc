@@ -24,15 +24,14 @@ BlockFetcher::Options::fromEnv()
         else if (v == "async")
             o.async = true;
         else if (!v.empty() && v != "1" && v != "sync")
-            cps_warn("ignoring malformed CPS_BLOCK_PREFETCH='%s' "
-                     "(expected 0|off|sync|async)", env);
+            envWarnOnce("CPS_BLOCK_PREFETCH", env, "0|off|sync|async");
     }
     return o;
 }
 
 BlockFetcher::BlockFetcher(const Decompressor &decomp, Options opts,
-                           StatSet *stats)
-    : decomp_(decomp), opts_(opts)
+                           StatSet *stats, SoftErrorDomain *domain)
+    : decomp_(decomp), opts_(opts), domain_(domain)
 {
     if (opts_.slots < 1)
         opts_.slots = 1;
@@ -43,6 +42,11 @@ BlockFetcher::BlockFetcher(const Decompressor &decomp, Options opts,
         statFills_ = &stats->scalar("hostpf.fills");
         statPfIssued_ = &stats->scalar("hostpf.prefetch_issued");
         statPfHits_ = &stats->scalar("hostpf.prefetch_hits");
+        // Registered only alongside a domain: the default stat roster
+        // (and thus every existing table/report) is untouched when
+        // protection is off.
+        if (domain_)
+            statPoisons_ = &stats->scalar("hostpf.poisons");
     }
 }
 
@@ -64,6 +68,13 @@ BlockFetcher::get(u32 group, u32 block)
 const DecodedBlock &
 BlockFetcher::getFlat(u32 flat)
 {
+    if (domain_) {
+        Result<const DecodedBlock *> r = tryGetFlat(flat);
+        if (!r)
+            cps_panic("getFlat on a failed soft-error domain: %s",
+                      r.error().describe().c_str());
+        return **r;
+    }
     train(flat);
     u32 i = map_[flat];
     if (i != kInvalid) {
@@ -108,6 +119,115 @@ BlockFetcher::getFlat(u32 flat)
     return e.blk;
 }
 
+Result<const DecodedBlock *>
+BlockFetcher::tryGetFlat(u32 flat)
+{
+    lastCheck_ = FetchCheck::Clean;
+    if (domain_) {
+        lastCheck_ = domain_->verifyBlock(flat);
+        if (lastCheck_ == FetchCheck::Unrecoverable) {
+            // Whatever copy the cache holds was fetched from memory
+            // now known corrupt beyond repair; never serve it.
+            poisonSlot(flat);
+            return domain_->lastError();
+        }
+    }
+    train(flat);
+    u32 i = map_[flat];
+    if (i != kInvalid) {
+        Entry &e = slab_[i];
+        bool stale = lastCheck_ != FetchCheck::Clean;
+        if (e.span && !e.span->done)
+            resolveSpan(*e.span);
+        if (domain_ && e.span && !e.span->ok[e.lane])
+            stale = true; // speculative decode of corrupt bytes failed
+        if (!stale) {
+            if (head_ != i) {
+                unlink(i);
+                pushFront(i);
+            }
+            const DecodedBlock *blk =
+                e.span ? &e.span->blks[e.lane] : &e.blk;
+            if (e.prefetched) {
+                e.prefetched = false;
+                ++pfHits_;
+                if (statPfHits_)
+                    statPfHits_->inc();
+            } else {
+                ++hits_;
+                if (statHits_)
+                    statHits_->inc();
+            }
+            issuePrefetches(flat);
+            return blk;
+        }
+        // The cached decode predates the repair (correction/refetch)
+        // of this block's memory: poison it and demand-decode the
+        // repaired bytes below. The access accounts as a fill — the
+        // decode really runs — so hits+fills+prefetchHits still sum
+        // to successful accesses.
+        poisonSlot(flat);
+    }
+
+    u32 slot = claimSlot(flat);
+    Entry &e = slab_[slot];
+    if (domain_) {
+        // Checked even though verification passed: a weak detect-only
+        // code (CRC-8 especially) can miss a multi-bit pattern, and
+        // the decoder must then fail structurally, not panic.
+        Result<DecodedBlock> blk = decomp_.tryDecompressBlock(
+            flat / kBlocksPerGroup, flat % kBlocksPerGroup);
+        if (!blk) {
+            poisonSlot(flat);
+            return blk.error();
+        }
+        e.blk = *blk;
+    } else {
+        e.blk = decomp_.decompressFlatBlock(flat);
+    }
+    pushFront(slot);
+    ++fills_;
+    if (statFills_)
+        statFills_->inc();
+    issuePrefetches(flat);
+    return &e.blk;
+}
+
+void
+BlockFetcher::poisonSlot(u32 flat)
+{
+    u32 i = map_[flat];
+    if (i == kInvalid)
+        return;
+    unlink(i);
+    Entry &e = slab_[i];
+    map_[flat] = kInvalid;
+    e.flat = kInvalid;
+    e.prefetched = false;
+    e.span.reset();
+    // Park at the LRU tail: the invalidated slot is the next victim,
+    // so poisoning never shrinks the effective cache.
+    e.prev = tail_;
+    e.next = kInvalid;
+    if (tail_ != kInvalid)
+        slab_[tail_].next = i;
+    else
+        head_ = i;
+    tail_ = i;
+    ++poisons_;
+    if (statPoisons_)
+        statPoisons_->inc();
+}
+
+void
+BlockFetcher::quiesce()
+{
+    for (auto &span : inflight_)
+        if (!span->done)
+            resolveSpan(*span);
+    inflight_.clear();
+}
+
 void
 BlockFetcher::unlink(u32 i)
 {
@@ -150,7 +270,8 @@ BlockFetcher::claimSlot(u32 flat)
     } else {
         i = tail_;
         unlink(i);
-        map_[slab_[i].flat] = kInvalid;
+        if (slab_[i].flat != kInvalid) // poisoned victims left no map entry
+            map_[slab_[i].flat] = kInvalid;
     }
     Entry &e = slab_[i];
     e.flat = flat;
@@ -235,8 +356,22 @@ BlockFetcher::issuePrefetches(u32 flat)
 
 void
 BlockFetcher::decodeInto(const u32 *flats, unsigned count,
-                         bool contiguous, DecodedBlock *out) const
+                         bool contiguous, DecodedBlock *out, u8 *ok) const
 {
+    if (domain_) {
+        // Speculative decodes race ahead of verification, so they may
+        // chew on corrupt bytes; the checked decoder turns that into a
+        // per-lane failure the claim path re-verifies, never a panic.
+        for (unsigned l = 0; l < count; ++l) {
+            Result<DecodedBlock> r = decomp_.tryDecompressBlock(
+                flats[l] / kBlocksPerGroup, flats[l] % kBlocksPerGroup);
+            ok[l] = r.ok() ? 1 : 0;
+            out[l] = r.ok() ? *r : DecodedBlock{};
+        }
+        return;
+    }
+    if (ok)
+        std::fill(ok, ok + count, u8{1});
     if (contiguous)
         decomp_.decompressBlocks(flats[0], count, out);
     else
@@ -252,7 +387,7 @@ BlockFetcher::resolveSpan(SpecSpan &s)
         s.state.compare_exchange_strong(st, SpecSpan::Running,
                                         std::memory_order_acq_rel)) {
         decodeInto(s.flats.data(), s.count, s.contiguous,
-                   s.blks.data());
+                   s.blks.data(), s.ok.data());
         s.state.store(SpecSpan::Done, std::memory_order_release);
     } else {
         // The worker is mid-decode: at most a few microseconds away.
@@ -281,9 +416,14 @@ BlockFetcher::issueSpan(const u32 *flats, unsigned count,
     if (!opts_.async) {
         // Inline speculation: batched decode into the reusable
         // scratch, then park each block in its slab entry. No
-        // allocation, no atomics.
-        decodeInto(flats, count, contiguous, scratch_.data());
+        // allocation, no atomics. Lanes whose checked decode failed
+        // (domain mode, corrupt bytes) are simply not parked — the
+        // demand fetch will verify, repair, and decode them.
+        decodeInto(flats, count, contiguous, scratch_.data(),
+                   scratchOk_.data());
         for (unsigned l = 0; l < count; ++l) {
+            if (!scratchOk_[l])
+                continue;
             u32 slot = claimSlot(flats[l]);
             Entry &e = slab_[slot];
             e.prefetched = true;
@@ -312,7 +452,8 @@ BlockFetcher::issueSpan(const u32 *flats, unsigned count,
                 st, SpecSpan::Running, std::memory_order_acq_rel))
             return; // the consumer stole it
         self->decodeInto(span->flats.data(), span->count,
-                         span->contiguous, span->blks.data());
+                         span->contiguous, span->blks.data(),
+                         span->ok.data());
         span->state.store(SpecSpan::Done, std::memory_order_release);
     });
 

@@ -54,6 +54,7 @@
 #include "common/stats.hh"
 #include "common/threadpool.hh"
 #include "decompressor.hh"
+#include "resilience.hh"
 
 namespace cps
 {
@@ -91,10 +92,18 @@ class BlockFetcher
      * @param decomp decompressor to memoize (must outlive the fetcher)
      * @param opts knobs; defaults come from the environment
      * @param stats optional registry for "hostpf." counters
+     * @param domain optional soft-error domain; when given, it must
+     *        wrap the image @p decomp decodes, every fetch is verified
+     *        through it first, cached copies of a block whose memory
+     *        was repaired are poison-invalidated and re-decoded, all
+     *        decodes run checked (a corruption that slips past a weak
+     *        CRC surfaces as a structured error, never a panic), and
+     *        the caller must quiesce() before mutating domain memory.
      */
     explicit BlockFetcher(const Decompressor &decomp,
                           Options opts = Options::fromEnv(),
-                          StatSet *stats = nullptr);
+                          StatSet *stats = nullptr,
+                          SoftErrorDomain *domain = nullptr);
 
     /** Waits out in-flight speculative decodes, then joins workers. */
     ~BlockFetcher();
@@ -111,13 +120,39 @@ class BlockFetcher
     /** As get(group, block), keyed by flat block number. */
     const DecodedBlock &getFlat(u32 flat);
 
+    /**
+     * Checked fetch for soft-error callers: an unrecoverable
+     * corruption (or a decode failure that slipped past a weak check)
+     * comes back as the structured DecodeError instead of a panic. The
+     * returned pointer follows getFlat's lifetime contract. Without a
+     * domain this never fails.
+     */
+    Result<const DecodedBlock *> tryGetFlat(u32 flat);
+
+    /**
+     * ECC/CRC verdict of the most recent (try)getFlat when a domain is
+     * attached; Clean otherwise. The timing model charges correction
+     * and refetch latency off this.
+     */
+    FetchCheck lastCheck() const { return lastCheck_; }
+
+    /**
+     * Resolves every in-flight speculative decode. Callers that mutate
+     * the domain's memory (fault injectors) must quiesce first: async
+     * span workers read the image bytes concurrently.
+     */
+    void quiesce();
+
     u64 hits() const { return hits_; }
     u64 fills() const { return fills_; }
     u64 prefetchIssued() const { return pfIssued_; }
     /** First-touch claims of speculatively decoded blocks. */
     u64 prefetchHits() const { return pfHits_; }
+    /** Cached copies discarded after their memory was found corrupt. */
+    u64 poisons() const { return poisons_; }
     unsigned slots() const { return opts_.slots; }
     const Options &options() const { return opts_; }
+    SoftErrorDomain *domain() const { return domain_; }
 
   private:
     /** One batched speculative decode in flight (or finished). */
@@ -129,6 +164,9 @@ class BlockFetcher
         unsigned count = 0;
         bool contiguous = true;
         std::array<DecodedBlock, kSpanBlocks> blks;
+        /** Per-lane checked-decode success (domain mode only; written
+         *  by the decoder before Done, read after acquiring it). */
+        std::array<u8, kSpanBlocks> ok{};
         /**
          * Decode ownership: a worker (or the consumer, stealing a span
          * the pool has not started) CASes Queued->Running, decodes,
@@ -156,11 +194,14 @@ class BlockFetcher
     /** A slot for @p flat: its resident slot, a fresh one, or the LRU
      *  victim; unlinked from the chain, map updated. */
     u32 claimSlot(u32 flat);
+    /** Discards @p flat's cached copy (its memory was corrupt) and
+     *  parks the slot at the LRU tail as the next eviction victim. */
+    void poisonSlot(u32 flat);
     void train(u32 flat);
     void issuePrefetches(u32 flat);
     void issueSpan(const u32 *flats, unsigned count, bool contiguous);
     void decodeInto(const u32 *flats, unsigned count, bool contiguous,
-                    DecodedBlock *out) const;
+                    DecodedBlock *out, u8 *ok) const;
     /**
      * Ensures @p s is decoded: claims and decodes it inline when the
      * pool has not started it (work stealing — the batched inline
@@ -188,6 +229,7 @@ class BlockFetcher
 
     /** Sync-mode decode target: reused, so no per-span allocation. */
     std::array<DecodedBlock, kSpanBlocks> scratch_;
+    std::array<u8, kSpanBlocks> scratchOk_{};
 
     /** Spans submitted to the pool and not yet known-finished. */
     std::deque<std::shared_ptr<SpecSpan>> inflight_;
@@ -195,14 +237,19 @@ class BlockFetcher
 
     std::unique_ptr<ThreadPool> pool_; ///< lazily created (fork safety)
 
+    SoftErrorDomain *domain_ = nullptr;
+    FetchCheck lastCheck_ = FetchCheck::Clean;
+
     u64 hits_ = 0;
     u64 fills_ = 0;
     u64 pfIssued_ = 0;
     u64 pfHits_ = 0;
+    u64 poisons_ = 0;
     Counter *statHits_ = nullptr;
     Counter *statFills_ = nullptr;
     Counter *statPfIssued_ = nullptr;
     Counter *statPfHits_ = nullptr;
+    Counter *statPoisons_ = nullptr;
 };
 
 } // namespace codepack

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "asmkit/program.hh"
+#include "common/ecc.hh"
 #include "common/types.hh"
 #include "dictionary.hh"
 #include "format.hh"
@@ -59,12 +60,20 @@ struct Composition
     u64 rawTagBits = 0;
     u64 rawBits = 0;
     u64 padBits = 0;
+    /**
+     * Check bytes attached by protectImage (zero on unprotected
+     * images). Derived from the check arrays rather than serialized:
+     * the v2 composition section is unchanged, and the honest ratio
+     * cost of protection still lands in totalBits().
+     */
+    u64 protectionBits = 0;
 
     u64
     totalBits() const
     {
         return indexTableBits + dictionaryBits + compressedTagBits +
-               dictIndexBits + rawTagBits + rawBits + padBits;
+               dictIndexBits + rawTagBits + rawBits + padBits +
+               protectionBits;
     }
 
     u64 totalBytes() const { return totalBits() / 8; }
@@ -90,6 +99,20 @@ struct CompressedImage
     Dictionary lowDict{Dictionary::Kind::Low};
     std::vector<BlockExtent> blocks; ///< per block, in group order
     Composition comp;
+
+    /**
+     * Soft-error protection attached by protectImage (None on images
+     * straight out of the compressor). The check arrays model the spare
+     * storage an ECC memory would dedicate to the compressed region;
+     * their bytes are charged to comp.protectionBits but live beside
+     * the stream, so the unprotected byte layout is untouched.
+     */
+    ProtectKind protectKind = ProtectKind::None;
+    std::vector<u8> blockCheck;      ///< concatenated per-block checks
+    std::vector<u32> blockCheckOff;  ///< numBlocks()+1 prefix offsets
+    std::vector<u8> indexCheck;      ///< per-entry, indexCheckBytes each
+
+    bool isProtected() const { return protectKind != ProtectKind::None; }
 
     u32 numGroups() const { return static_cast<u32>(indexTable.size()); }
     u32 numBlocks() const { return static_cast<u32>(blocks.size()); }
@@ -145,6 +168,23 @@ CompressedImage compress(const Program &prog,
 CompressedImage compressWords(const std::vector<u32> &words, Addr text_base,
                               const CompressorConfig &cfg =
                                   CompressorConfig{});
+
+/**
+ * Per-block check-array prefix offsets for @p blocks under @p kind:
+ * blocks.size()+1 entries, entry i the byte offset of block i's check
+ * bytes within the concatenated array (the last entry is its total
+ * size).
+ */
+std::vector<u32> blockCheckOffsets(ProtectKind kind,
+                                   const std::vector<BlockExtent> &blocks);
+
+/**
+ * Attaches (or with None, strips) per-block and per-index-entry
+ * soft-error check bytes, recomputed from the image's current stream
+ * and index table, and charges their storage to comp.protectionBits.
+ * Idempotent; the compressed stream itself never changes.
+ */
+void protectImage(CompressedImage &img, ProtectKind kind);
 
 } // namespace codepack
 } // namespace cps

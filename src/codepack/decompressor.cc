@@ -27,8 +27,7 @@ defaultDecodeKernel()
             return DecodeKernel::Lut;
         if (v == "lut2")
             return DecodeKernel::Lut2;
-        cps_warn("ignoring malformed CPS_DECODE_KERNEL='%s' "
-                 "(expected checked|lut|lut2)", env);
+        envWarnOnce("CPS_DECODE_KERNEL", env, "checked|lut|lut2");
         return DecodeKernel::Lut2;
     }();
     return kernel;
@@ -53,11 +52,14 @@ Decompressor::tryDecompressBlock(u32 group, u32 block) const
 {
     if (group >= img_.numGroups())
         return decodeErrorAtByte(DecodeStatus::RangeError, 0,
-                                 "group %u out of range (image has %u)",
-                                 group, img_.numGroups());
+                                 "group %u block %u: group out of range "
+                                 "(image has %u groups)",
+                                 group, block, img_.numGroups());
     if (block >= kBlocksPerGroup)
         return decodeErrorAtByte(DecodeStatus::RangeError, 0,
-                                 "block %u out of range", block);
+                                 "group %u block %u: block out of range "
+                                 "(groups hold %u blocks)",
+                                 group, block, kBlocksPerGroup);
 
     u32 entry = img_.indexTable[group];
     DecodedBlock out;
@@ -135,8 +137,8 @@ Decompressor::tryDecompressBlock(u32 group, u32 block) const
             return decodeErrorAtByte(
                 DecodeStatus::Malformed,
                 u64{out.byteOffset} + used_bytes,
-                "group %u: index entry says first block is %u bytes "
-                "but decode consumed %u",
+                "group %u block 0: index entry says first block is "
+                "%u bytes but decode consumed %u",
                 group, out.byteLen, used_bytes);
     } else {
         out.byteLen = used_bytes;
@@ -609,12 +611,7 @@ defaultBlockCacheSlots()
     char *end = nullptr;
     long v = std::strtol(env, &end, 10);
     if (!end || *end || v < 1 || v > (1 << 20)) {
-        static bool warned = false;
-        if (!warned) {
-            warned = true;
-            cps_warn("ignoring malformed CPS_BLOCK_CACHE_SLOTS='%s' "
-                     "(expected a positive integer)", env);
-        }
+        envWarnOnce("CPS_BLOCK_CACHE_SLOTS", env, "a positive integer");
         return 64;
     }
     return static_cast<unsigned>(v);
@@ -697,6 +694,34 @@ validateImage(const CompressedImage &img)
                 "region (%zu bytes)",
                 i, b.byteOffset, b.byteOffset + b.byteLen,
                 img.bytes.size());
+    }
+
+    // Protection annex consistency: every block and index entry owns
+    // exactly the check bytes its kind dictates, and the offset table
+    // matches the extents it was derived from.
+    if (img.isProtected()) {
+        std::vector<u32> off = blockCheckOffsets(img.protectKind,
+                                                 img.blocks);
+        if (img.blockCheckOff != off ||
+            img.blockCheck.size() != off.back())
+            return decodeErrorAtByte(
+                DecodeStatus::BadHeader, 0,
+                "%s block-check array (%zu bytes) inconsistent with "
+                "the block extents (%u expected)",
+                protectKindName(img.protectKind), img.blockCheck.size(),
+                off.back());
+        if (img.indexCheck.size() !=
+            img.indexTable.size() * indexCheckBytes(img.protectKind))
+            return decodeErrorAtByte(
+                DecodeStatus::BadHeader, 0,
+                "%s index-check array (%zu bytes) inconsistent with "
+                "%u index entries",
+                protectKindName(img.protectKind), img.indexCheck.size(),
+                img.numGroups());
+    } else if (!img.blockCheck.empty() || !img.indexCheck.empty()) {
+        return decodeErrorAtByte(DecodeStatus::BadHeader, 0,
+                                 "check arrays present on an "
+                                 "unprotected image");
     }
     return {};
 }

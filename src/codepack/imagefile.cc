@@ -16,6 +16,10 @@ namespace
 constexpr char kMagic[8] = {'C', 'P', 'S', 'C', 'P', 'K', '2', '\0'};
 constexpr size_t kMagicPrefixLen = 6; // "CPSCPK", before the version char
 constexpr char kFormatVersion = '2';
+// Images carrying a soft-error protection annex get their own version
+// char: a v2 reader rejects them loudly instead of silently dropping
+// the check arrays, and unprotected images stay byte-identical v2.
+constexpr char kProtectedFormatVersion = '3';
 
 void
 putDictionary(std::vector<u8> &out, const Dictionary &dict)
@@ -115,6 +119,8 @@ encodeImage(const CompressedImage &img)
     std::vector<u8> out;
     for (char c : kMagic)
         out.push_back(static_cast<u8>(c));
+    if (img.isProtected())
+        out[kMagicPrefixLen] = static_cast<u8>(kProtectedFormatVersion);
 
     size_t start = out.size();
     put32(out, img.textBase);
@@ -156,6 +162,18 @@ encodeImage(const CompressedImage &img)
     put64(out, img.comp.rawBits);
     put64(out, img.comp.padBits);
     sealSection(out, start);
+
+    if (img.isProtected()) {
+        start = out.size();
+        put8(out, static_cast<u8>(img.protectKind));
+        put32(out, static_cast<u32>(img.blockCheck.size()));
+        out.insert(out.end(), img.blockCheck.begin(),
+                   img.blockCheck.end());
+        put32(out, static_cast<u32>(img.indexCheck.size()));
+        out.insert(out.end(), img.indexCheck.begin(),
+                   img.indexCheck.end());
+        sealSection(out, start);
+    }
     return out;
 }
 
@@ -177,12 +195,15 @@ decodeImageChecked(const std::vector<u8> &bytes,
     if (!cur.ok() || nul != 0)
         return decodeErrorAtByte(DecodeStatus::BadMagic, kMagicPrefixLen,
                                  "malformed magic trailer");
-    if (version != static_cast<u8>(kFormatVersion))
+    const bool protected_image =
+        version == static_cast<u8>(kProtectedFormatVersion);
+    if (version != static_cast<u8>(kFormatVersion) && !protected_image)
         return decodeErrorAtByte(DecodeStatus::BadVersion,
                                  kMagicPrefixLen,
                                  "unsupported image version '%c' "
-                                 "(this build reads '%c')",
-                                 version, kFormatVersion);
+                                 "(this build reads '%c' and '%c')",
+                                 version, kFormatVersion,
+                                 kProtectedFormatVersion);
 
     CompressedImage img;
     size_t section = cur.pos();
@@ -306,6 +327,68 @@ decodeImageChecked(const std::vector<u8> &bytes,
     if (Result<void> r = checkSection(cur, bytes, section,
                                       "composition", opts); !r)
         return r.error();
+
+    // Protection annex (v3 only): the declared kind dictates exactly
+    // how many check bytes every block and index entry owns, so both
+    // array lengths are fully determined by sections already decoded —
+    // a corrupt length cannot smuggle in a short (or oversized) array.
+    if (protected_image) {
+        section = cur.pos();
+        u8 kind_byte = cur.get8();
+        if (!cur.ok())
+            return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                     "file ends at the protection kind");
+        if (kind_byte == 0 || kind_byte >= kNumProtectKinds)
+            return decodeErrorAtByte(DecodeStatus::Malformed, section,
+                                     "unknown protection kind %u",
+                                     kind_byte);
+        const ProtectKind kind = static_cast<ProtectKind>(kind_byte);
+        std::vector<u32> off = blockCheckOffsets(kind, img.blocks);
+        u32 block_check_len = cur.get32();
+        if (!cur.ok())
+            return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                     "file ends at the block-check "
+                                     "length");
+        if (block_check_len != off.back())
+            return decodeErrorAtByte(DecodeStatus::Malformed, section,
+                                     "block checks declare %u bytes, "
+                                     "%s over these extents needs %u",
+                                     block_check_len,
+                                     protectKindName(kind), off.back());
+        if (block_check_len > cur.remaining())
+            return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                     "block checks declare %u bytes but "
+                                     "only %zu remain",
+                                     block_check_len, cur.remaining());
+        img.blockCheck = cur.getBytes(block_check_len);
+        u32 index_check_len = cur.get32();
+        if (!cur.ok())
+            return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                     "file ends at the index-check "
+                                     "length");
+        const u32 expect_index =
+            groups * static_cast<u32>(indexCheckBytes(kind));
+        if (index_check_len != expect_index)
+            return decodeErrorAtByte(DecodeStatus::Malformed, section,
+                                     "index checks declare %u bytes, "
+                                     "%s over %u entries needs %u",
+                                     index_check_len,
+                                     protectKindName(kind), groups,
+                                     expect_index);
+        if (index_check_len > cur.remaining())
+            return decodeErrorAtByte(DecodeStatus::Truncated, section,
+                                     "index checks declare %u bytes but "
+                                     "only %zu remain",
+                                     index_check_len, cur.remaining());
+        img.indexCheck = cur.getBytes(index_check_len);
+        if (Result<void> r = checkSection(cur, bytes, section,
+                                          "protection", opts); !r)
+            return r.error();
+        img.protectKind = kind;
+        img.blockCheckOff = std::move(off);
+        img.comp.protectionBits =
+            (u64{img.blockCheck.size()} + img.indexCheck.size()) * 8;
+    }
 
     if (cur.remaining() != 0)
         return decodeErrorAtByte(DecodeStatus::Malformed, cur.pos(),

@@ -18,6 +18,17 @@
  *     block extents u32 count, count x (u32 offset, u32 len, u8 raw)
  *     composition   7 x u64 bit counters
  *
+ * Format v3 (version char '3') is v2 plus one trailing CRC-sealed
+ * protection section, present only on images protectImage has
+ * annotated:
+ *     protection    u8 kind (crc8/crc16/secded),
+ *                   u32 length + per-block check bytes (concatenated in
+ *                   block order; each block's share is determined by the
+ *                   kind and its extent, so offsets are derived, not
+ *                   stored),
+ *                   u32 length + per-index-entry check bytes
+ * Unprotected images always encode as byte-identical v2.
+ *
  * Everything read here is untrusted input: the checked entry points
  * return structured DecodeErrors (status + byte offset) and validate
  * every declared size against the bytes actually present *before*

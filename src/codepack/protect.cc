@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Soft-error protection of compressed images: computes the per-block
+ * and per-index-entry check arrays a protected memory system would
+ * hold alongside the compressed region. The stream and index table are
+ * never modified — protection is a pure annex — so a protected image
+ * decodes bit-identically to its unprotected self when no fault is
+ * injected.
+ */
+
+#include "compressor.hh"
+
+namespace cps
+{
+namespace codepack
+{
+
+std::vector<u32>
+blockCheckOffsets(ProtectKind kind, const std::vector<BlockExtent> &blocks)
+{
+    std::vector<u32> off;
+    off.reserve(blocks.size() + 1);
+    u32 at = 0;
+    off.push_back(at);
+    for (const BlockExtent &b : blocks) {
+        at += static_cast<u32>(blockCheckBytes(kind, b.byteLen));
+        off.push_back(at);
+    }
+    return off;
+}
+
+void
+protectImage(CompressedImage &img, ProtectKind kind)
+{
+    img.protectKind = kind;
+    img.blockCheck.clear();
+    img.blockCheckOff.clear();
+    img.indexCheck.clear();
+    img.comp.protectionBits = 0;
+    if (kind == ProtectKind::None)
+        return;
+
+    img.blockCheckOff = blockCheckOffsets(kind, img.blocks);
+    img.blockCheck.resize(img.blockCheckOff.back());
+    for (size_t i = 0; i < img.blocks.size(); ++i) {
+        const BlockExtent &b = img.blocks[i];
+        computeBlockCheck(kind, img.bytes.data() + b.byteOffset,
+                          b.byteLen,
+                          img.blockCheck.data() + img.blockCheckOff[i]);
+    }
+
+    const size_t stride = indexCheckBytes(kind);
+    img.indexCheck.resize(img.indexTable.size() * stride);
+    for (size_t i = 0; i < img.indexTable.size(); ++i)
+        computeIndexCheck(kind, img.indexTable[i],
+                          img.indexCheck.data() + i * stride);
+
+    img.comp.protectionBits =
+        (u64{img.blockCheck.size()} + img.indexCheck.size()) * 8;
+}
+
+} // namespace codepack
+} // namespace cps

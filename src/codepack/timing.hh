@@ -78,6 +78,26 @@ struct DecompressorConfig
     /** Index-cache set count; 1 = fully associative (the paper). */
     unsigned indexCacheSets = 1;
 
+    /**
+     * Per-block protection checked on every fetched block. None keeps
+     * the paper's timing bit-identical; any other kind charges
+     * eccCheckCycles per fetch even without a soft-error domain (pure
+     * protection-cost studies).
+     */
+    ProtectKind protect = ProtectKind::None;
+    /** Pipelined ECC/CRC check latency added to every beat's arrival. */
+    unsigned eccCheckCycles = 1;
+    /** Extra cycles when SEC-DED repairs a single-bit error in place. */
+    unsigned eccCorrectCycles = 3;
+    /**
+     * Soft-error recovery domain wrapping the simulated image. When
+     * set, every fetch is verified through it (corrections and
+     * refetches cost cycles, an unrecoverable corruption latches
+     * DecompressorModel::softError); it must wrap the same image the
+     * model decodes and outlive the model.
+     */
+    SoftErrorDomain *softErrorDomain = nullptr;
+
     /** The paper's optimized configuration (§5.3). */
     static DecompressorConfig
     optimized()
@@ -147,6 +167,17 @@ class DecompressorModel
 
     const DecompressorConfig &config() const { return cfg_; }
 
+    /**
+     * An unrecoverable in-memory corruption was hit on the fetch path.
+     * Latched (reset() does not clear it): every cycle count produced
+     * after the fault is meaningless, so the machine must abort the
+     * run with RunStatus::DecodeFault.
+     */
+    bool softError() const { return softError_; }
+
+    /** Diagnosis of the latched soft error (block and bit position). */
+    const DecodeError &softErrorDetail() const { return softErrorDetail_; }
+
   private:
     const CompressedImage &img_;
     Decompressor decomp_;
@@ -193,6 +224,9 @@ class DecompressorModel
     void issuePrefetches(u32 flat, Cycle now);
 
     MissTrace trace_;
+
+    bool softError_ = false;
+    DecodeError softErrorDetail_;
 
     Counter &statMisses_;
     Counter &statBufferHits_;

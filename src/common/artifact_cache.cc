@@ -51,8 +51,8 @@ ArtifactCache::instance()
             if (end && *end == '\0')
                 max_bytes = static_cast<u64>(v);
             else
-                cps_warn("ignoring malformed CPS_CACHE_MAX_BYTES='%s'",
-                         env);
+                envWarnOnce("CPS_CACHE_MAX_BYTES", env,
+                            "a byte count");
         }
         return ArtifactCache(dir, enabled, max_bytes);
     }();

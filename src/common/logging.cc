@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <set>
 
 namespace cps
 {
@@ -104,6 +105,20 @@ unsigned long
 warnCount()
 {
     return numWarnings.load(std::memory_order_relaxed);
+}
+
+void
+envWarnOnce(const char *name, const char *value, const char *expected)
+{
+    static std::mutex mutex;
+    static std::set<std::string> warned;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!warned.insert(name).second)
+            return;
+    }
+    warnImpl("ignoring malformed %s='%s' (expected %s)", name, value,
+             expected);
 }
 
 void

@@ -39,6 +39,17 @@ void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Count of warn() calls so far, exposed so tests can assert on warnings. */
 unsigned long warnCount();
 
+/**
+ * Warns about a malformed environment knob exactly once per process per
+ * variable name, no matter how many constructions re-read it:
+ * "ignoring malformed NAME='VALUE' (expected EXPECTED)". Knob parsers
+ * are re-run per construction by design (tests flip knobs between
+ * constructions), so their diagnostics must be deduplicated here rather
+ * than by call-site statics.
+ */
+void envWarnOnce(const char *name, const char *value,
+                 const char *expected);
+
 /** Silence warn()/inform() output (counters still advance). */
 void setQuiet(bool quiet);
 

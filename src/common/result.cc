@@ -25,6 +25,8 @@ decodeStatusName(DecodeStatus status)
         return "range-error";
       case DecodeStatus::Malformed:
         return "malformed";
+      case DecodeStatus::SoftError:
+        return "soft-error";
     }
     return "unknown";
 }

@@ -34,6 +34,7 @@ enum class DecodeStatus
     BadHeader, ///< a header field is insane (misaligned, inconsistent)
     RangeError, ///< an index/offset points outside its table or region
     Malformed, ///< structurally invalid in some other diagnosed way
+    SoftError, ///< uncorrectable in-memory corruption (ECC/CRC detect)
 };
 
 /** Short stable name for a status ("bad-crc", "truncated", ...). */

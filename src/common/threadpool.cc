@@ -17,7 +17,7 @@ defaultThreadCount()
         unsigned long v = std::strtoul(env, &end, 10);
         if (end && *end == '\0' && v > 0 && v <= 1024)
             return static_cast<unsigned>(v);
-        cps_warn("ignoring malformed CPS_THREADS='%s'", env);
+        envWarnOnce("CPS_THREADS", env, "an integer in [1, 1024]");
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

@@ -1,0 +1,121 @@
+#include "memfault.hh"
+
+#include "common/logging.hh"
+
+namespace cps
+{
+namespace fault
+{
+
+using codepack::BlockExtent;
+using codepack::kBlocksPerGroup;
+
+const MemFaultKind kAllMemFaultKinds[kNumMemFaultKinds] = {
+    MemFaultKind::StreamFlip,
+    MemFaultKind::IndexFlip,
+    MemFaultKind::BurstError,
+};
+
+const char *
+memFaultKindName(MemFaultKind kind)
+{
+    switch (kind) {
+      case MemFaultKind::StreamFlip:
+        return "stream-flip";
+      case MemFaultKind::IndexFlip:
+        return "index-flip";
+      case MemFaultKind::BurstError:
+        return "burst-error";
+    }
+    return "unknown";
+}
+
+std::string
+MemFaultRecord::describe() const
+{
+    return strfmt("%s seed 0x%llx: group %u block %u, %u flip(s) from "
+                  "bit %llu",
+                  memFaultKindName(kind),
+                  static_cast<unsigned long long>(seed), group,
+                  flatBlock % kBlocksPerGroup, flips,
+                  static_cast<unsigned long long>(bitOffset));
+}
+
+MemoryFaultInjector::MemoryFaultInjector(codepack::CompressedImage &img,
+                                         u64 seed)
+    : img_(img), seed_(seed), rng_(seed)
+{
+    cps_assert(img.numBlocks() > 0, "cannot upset an empty image");
+}
+
+u32
+MemoryFaultInjector::pickBlock(u64 min_bits)
+{
+    // Zero-length extents exist only in degenerate images; bound the
+    // re-roll so a pathological one fails loudly instead of spinning.
+    for (unsigned tries = 0; tries < 4096; ++tries) {
+        u32 flat = static_cast<u32>(rng_.below(img_.numBlocks()));
+        if (u64{img_.blocks[flat].byteLen} * 8 >= min_bits)
+            return flat;
+    }
+    cps_panic("no block with %llu stream bits to upset",
+              static_cast<unsigned long long>(min_bits));
+}
+
+MemFaultRecord
+MemoryFaultInjector::inject(MemFaultKind kind)
+{
+    MemFaultRecord rec;
+    rec.kind = kind;
+    rec.seed = seed_;
+
+    switch (kind) {
+      case MemFaultKind::StreamFlip: {
+        u32 flat = pickBlock(1);
+        const BlockExtent &b = img_.blocks[flat];
+        u64 bit = rng_.below(u64{b.byteLen} * 8);
+        img_.bytes[b.byteOffset + bit / 8] ^=
+            static_cast<u8>(1u << (bit % 8));
+        rec.flatBlock = flat;
+        rec.group = flat / kBlocksPerGroup;
+        rec.bitOffset = bit;
+        rec.flips = 1;
+        break;
+      }
+      case MemFaultKind::IndexFlip: {
+        u32 group = static_cast<u32>(rng_.below(img_.indexTable.size()));
+        unsigned bit = static_cast<unsigned>(rng_.below(32));
+        img_.indexTable[group] ^= u32{1} << bit;
+        rec.group = group;
+        rec.flatBlock = group * kBlocksPerGroup;
+        rec.bitOffset = bit;
+        rec.flips = 1;
+        break;
+      }
+      case MemFaultKind::BurstError: {
+        u32 flat = pickBlock(2);
+        const BlockExtent &b = img_.blocks[flat];
+        u64 bit = rng_.below(u64{b.byteLen} * 8 - 1);
+        img_.bytes[b.byteOffset + bit / 8] ^=
+            static_cast<u8>(1u << (bit % 8));
+        img_.bytes[b.byteOffset + (bit + 1) / 8] ^=
+            static_cast<u8>(1u << ((bit + 1) % 8));
+        rec.flatBlock = flat;
+        rec.group = flat / kBlocksPerGroup;
+        rec.bitOffset = bit;
+        rec.flips = 2;
+        break;
+      }
+    }
+    return rec;
+}
+
+MemFaultRecord
+MemoryFaultInjector::injectAny()
+{
+    MemFaultKind kind = kAllMemFaultKinds[rng_.below(kNumMemFaultKinds)];
+    return inject(kind);
+}
+
+} // namespace fault
+} // namespace cps

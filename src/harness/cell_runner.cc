@@ -178,6 +178,9 @@ fromRunOutcome(RunOutcome run, unsigned attempt)
     if (out.outcome.result.status == RunStatus::Stalled) {
         out.status.state = CellState::Stalled;
         out.status.detail = out.outcome.result.statusDetail;
+    } else if (out.outcome.result.status == RunStatus::DecodeFault) {
+        out.status.state = CellState::DecodeFault;
+        out.status.detail = out.outcome.result.statusDetail;
     }
     return out;
 }
@@ -218,6 +221,8 @@ cellStateName(CellState state)
         return "protocol-error";
       case CellState::Stalled:
         return "stalled";
+      case CellState::DecodeFault:
+        return "decode-fault";
     }
     return "?";
 }
@@ -245,6 +250,9 @@ CellStatus::describe() const
       case CellState::Stalled:
         what = "stalled";
         break;
+      case CellState::DecodeFault:
+        what = "decode fault";
+        break;
     }
     if (attempts > 1)
         what += strfmt(" after %u attempts", attempts);
@@ -269,6 +277,8 @@ failLabel(const CellStatus &status)
         return "FAILED(protocol)";
       case CellState::Stalled:
         return "FAILED(stall)";
+      case CellState::DecodeFault:
+        return "FAILED(decode-fault)";
     }
     return "FAILED(?)";
 }
@@ -286,7 +296,7 @@ CellRunnerConfig::fromEnv()
             char *end = nullptr;
             unsigned long long v = std::strtoull(env, &end, 10);
             if (!end || *end != '\0' || v > max) {
-                cps_warn("ignoring malformed %s='%s'", name, env);
+                envWarnOnce(name, env, "an unsigned integer");
                 return fallback;
             }
             return v;
@@ -341,7 +351,7 @@ decodeRunOutcomeChecked(const std::vector<u8> &bytes)
     out.result.cycles = cur.get64();
     out.result.programExited = cur.get8() != 0;
     u8 status = cur.get8();
-    if (!cur.ok() || status > static_cast<u8>(RunStatus::Stalled)) {
+    if (!cur.ok() || status > static_cast<u8>(RunStatus::DecodeFault)) {
         return decodeErrorAtByte(DecodeStatus::Malformed, cur.pos(),
                                  "bad run status %u", status);
     }
@@ -369,11 +379,15 @@ cellKey(const RunRequest &req)
                "cellKey on request without bench");
     const MachineConfig &c = req.cfg;
     const PipelineConfig &p = c.pipeline;
+    // Note: decomp keys the protection kind and its cycle costs, not
+    // the soft-error domain pointer — a run with live fault injection
+    // is not cacheable and must bypass the journal.
     std::string key = strfmt(
-        "cell2;insns=%llu;mode=%u;machine=%s;"
+        "cell3;insns=%llu;mode=%u;machine=%s;"
         "pipe=%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u;"
         "ic=%u,%u,%u,%u;dc=%u,%u,%u,%u;mem=%u,%llu,%llu;model=%u;"
-        "decomp=%u,%u,%u,%u,%u,%u,%u,%u,%u;sw=%llu,%llu,%llu,%llu,%u,%u;",
+        "decomp=%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u;"
+        "sw=%llu,%llu,%llu,%llu,%u,%u;",
         static_cast<unsigned long long>(req.maxInsns),
         static_cast<unsigned>(req.mode), c.name.c_str(),
         p.inOrder ? 1u : 0u, p.width, p.fetchQueue, p.ruuSize, p.lsqSize,
@@ -393,6 +407,8 @@ cellKey(const RunRequest &req)
         static_cast<unsigned>(c.decomp.prefetch), c.decomp.prefetchDepth,
         static_cast<unsigned>(c.decomp.indexReplacement),
         c.decomp.indexCacheSets,
+        static_cast<unsigned>(c.decomp.protect), c.decomp.eccCheckCycles,
+        c.decomp.eccCorrectCycles,
         static_cast<unsigned long long>(c.software.trapOverhead),
         static_cast<unsigned long long>(c.software.cyclesPerInsn),
         static_cast<unsigned long long>(c.software.copyCyclesPerInsn),
@@ -437,9 +453,10 @@ CellRunner::run(const RunRequest &req) const
         out = runAttempt(req, attempt);
         if (out.status.ok())
             return out;
-        // A watchdog stall is a deterministic property of the cell;
-        // re-running it would stall at the identical point.
-        if (out.status.state == CellState::Stalled)
+        // A watchdog stall or a decode fault is a deterministic
+        // property of the cell; re-running it would fail identically.
+        if (out.status.state == CellState::Stalled ||
+            out.status.state == CellState::DecodeFault)
             return out;
         if (attempt >= cfg_.retries)
             return out;

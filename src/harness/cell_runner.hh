@@ -76,6 +76,7 @@ enum class CellState : u8
     Timeout,       ///< worker exceeded the wall-clock deadline
     ProtocolError, ///< worker's result stream was garbled or missing
     Stalled,       ///< the in-simulator progress watchdog tripped
+    DecodeFault,   ///< unrecoverable corruption on the decompression path
 };
 
 /** Short stable name for a state ("ok", "crashed", "timeout", ...). */

@@ -26,7 +26,7 @@ envU64(const char *name, u64 dflt)
     unsigned long long v = std::strtoull(env, &end, 10);
     if (end && *end == '\0')
         return static_cast<u64>(v);
-    cps_warn("ignoring malformed %s='%s'", name, env);
+    envWarnOnce(name, env, "an unsigned integer");
     return dflt;
 }
 

@@ -172,7 +172,7 @@ Suite::runInsns()
             unsigned long long v = std::strtoull(env, &end, 10);
             if (end && *end == '\0' && v > 0)
                 return static_cast<u64>(v);
-            cps_warn("ignoring malformed CPS_INSNS='%s'", env);
+            envWarnOnce("CPS_INSNS", env, "a positive integer");
         }
         return u64{1000000};
     }();
@@ -188,7 +188,7 @@ Suite::traceInsns()
             unsigned long long v = std::strtoull(env, &end, 10);
             if (end && *end == '\0')
                 return static_cast<u64>(v);
-            cps_warn("ignoring malformed CPS_TRACE_INSNS='%s'", env);
+            envWarnOnce("CPS_TRACE_INSNS", env, "an unsigned integer");
         }
         // Slack past runInsns() so an OoO front end fetching ahead of
         // its commit budget never outruns a truncated trace (see

@@ -59,18 +59,30 @@ struct PipelineConfig
     unsigned watchdogStallLimit = 4;
 };
 
-/** Whether a timed run completed or was cut short by the watchdog. */
+/** Whether a timed run completed or was cut short. */
 enum class RunStatus : u8
 {
     Ok = 0,
     Stalled = 1, ///< the progress watchdog saw no retirement for too long
+    /** The decompressor hit an unrecoverable in-memory corruption
+     *  (ECC/CRC detected, refetch budget exhausted); cycle counts after
+     *  the fault are meaningless and the run must not be trusted. */
+    DecodeFault = 2,
 };
 
-/** Short stable name for a status ("ok", "stalled"). */
+/** Short stable name for a status ("ok", "stalled", "decode-fault"). */
 inline const char *
 runStatusName(RunStatus status)
 {
-    return status == RunStatus::Ok ? "ok" : "stalled";
+    switch (status) {
+      case RunStatus::Ok:
+        return "ok";
+      case RunStatus::Stalled:
+        return "stalled";
+      case RunStatus::DecodeFault:
+        return "decode-fault";
+    }
+    return "?";
 }
 
 /**

@@ -9,7 +9,7 @@ trajectory record without any package installs.
 import json
 import sys
 
-EXPECTED_SCHEMA = 7
+EXPECTED_SCHEMA = 8
 
 # section -> keys that must be present (values are checked to be of the
 # right shape, not of any particular magnitude: wall-clock numbers are
@@ -139,6 +139,36 @@ def main():
     if not 0.0 <= pf["prefetch_hit_rate"] <= 1.0:
         fail("hostpf.prefetch_hit_rate %r outside [0, 1]"
              % pf["prefetch_hit_rate"])
+
+    # The "softerr" section is merged by bench_ext_soft_errors, which
+    # runs separately from the smoke bench; validate it when present.
+    if "softerr" in doc:
+        se = doc["softerr"]
+        for key in (
+            "trials_per_kind",
+            "upsets_per_profile",
+            "profiles",
+            "none_upsets",
+            "none_silent_wrong",
+            "none_silent_rate",
+            "protected_silent_wrong",
+            "secded_upsets",
+            "secded_corrected",
+            "secded_refetched",
+            "secded_detected",
+            "secded_cost_pct_mean",
+            "check_cycles",
+            "correct_cycles",
+            "refetch_cycles_mean",
+        ):
+            if key not in se:
+                fail("missing key %r in section 'softerr'" % key)
+        if se["protected_silent_wrong"] != 0:
+            fail("softerr.protected_silent_wrong is %r: protection "
+                 "must kill every silent escape" % se["protected_silent_wrong"])
+        if not 0.0 <= se["none_silent_rate"] <= 1.0:
+            fail("softerr.none_silent_rate %r outside [0, 1]"
+                 % se["none_silent_rate"])
 
     acc = doc["chunked"]["accuracy"]
     if not (isinstance(acc, list) and len(acc) == 3):

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "codepack/block_fetcher.hh"
+#include "codepack/resilience.hh"
+#include "common/logging.hh"
 #include "harness/suite.hh"
 
 namespace cps
@@ -296,6 +298,208 @@ TEST(BlockFetcher, ConcurrentFetchersShareOneDecompressor)
         th.join();
     for (int t = 0; t < 4; ++t)
         EXPECT_EQ(failures[t], 0) << "thread " << t;
+}
+
+/** A protected working copy of @p name's image plus its domain. */
+struct DomainRig
+{
+    CompressedImage img;
+    std::unique_ptr<SoftErrorDomain> domain;
+    std::unique_ptr<Decompressor> decomp;
+
+    DomainRig(const std::string &name, ProtectKind kind,
+              unsigned retries = 2)
+        : img(Suite::instance().get(name).image)
+    {
+        protectImage(img, kind);
+        domain = std::make_unique<SoftErrorDomain>(
+            img, /*seed=*/7, /*flip_rate_ppm=*/0, retries);
+        decomp = std::make_unique<Decompressor>(img);
+    }
+};
+
+/** Flips @p bit of flat block @p flat in the working image. */
+void
+flipWorkingBit(CompressedImage &img, u32 flat, u32 bit)
+{
+    const BlockExtent &b = img.blocks[flat];
+    ASSERT_LT(bit, b.byteLen * 8u);
+    img.bytes[b.byteOffset + bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+}
+
+/** First flat block with at least @p bytes of stream data. */
+u32
+firstBlockWithBytes(const CompressedImage &img, u32 bytes)
+{
+    for (u32 f = 0; f < img.numBlocks(); ++f)
+        if (img.blocks[f].byteLen >= bytes)
+            return f;
+    ADD_FAILURE() << "no block with " << bytes << " bytes";
+    return 0;
+}
+
+TEST(BlockFetcherDomain, SecDedZeroFlipsIsByteIdentical)
+{
+    // Protection on, no faults: the fetch path must decode every block
+    // bit-identically to the unprotected reference.
+    for (bool async : {false, true}) {
+        SCOPED_TRACE(async ? "async" : "sync");
+        DomainRig rig("pegwit", ProtectKind::SecDed);
+        BlockFetcher::Options opts;
+        opts.async = async;
+        BlockFetcher f(*rig.decomp, opts, nullptr, rig.domain.get());
+        checkByteIdentity(rig.img, f);
+        EXPECT_EQ(f.poisons(), 0u);
+        EXPECT_EQ(rig.domain->stats().unrecoverable, 0u);
+        EXPECT_EQ(f.lastCheck(), FetchCheck::Clean);
+    }
+}
+
+TEST(BlockFetcherDomain, CorrectsSingleFlipAndPoisonsStaleCopy)
+{
+    for (bool async : {false, true}) {
+        SCOPED_TRACE(async ? "async" : "sync");
+        DomainRig rig("pegwit", ProtectKind::SecDed);
+        Decompressor ref(rig.img, DecodeKernel::Checked);
+        BlockFetcher::Options opts;
+        opts.async = async;
+        BlockFetcher f(*rig.decomp, opts, nullptr, rig.domain.get());
+
+        u32 flat = firstBlockWithBytes(rig.img, 2);
+        Result<DecodedBlock> want = ref.tryDecompressBlock(
+            flat / kBlocksPerGroup, flat % kBlocksPerGroup);
+        ASSERT_TRUE(want.ok());
+
+        expectBlockEq(f.getFlat(flat), *want, flat); // now cached
+
+        f.quiesce(); // in-flight speculation reads the image bytes
+        flipWorkingBit(rig.img, flat, 5);
+        rig.domain->noteCorruption();
+
+        // The verify-first fetch repairs memory in place and discards
+        // the (possibly stale) cached copy rather than trusting it.
+        Result<const DecodedBlock *> r = f.tryGetFlat(flat);
+        ASSERT_TRUE(r.ok()) << r.error().describe();
+        expectBlockEq(**r, *want, flat);
+        EXPECT_EQ(f.lastCheck(), FetchCheck::Corrected);
+        EXPECT_GE(f.poisons(), 1u);
+        EXPECT_EQ(rig.domain->stats().corrected, 1u);
+        EXPECT_EQ(rig.domain->stats().unrecoverable, 0u);
+
+        // Memory was repaired: the next fetch verifies clean.
+        expectBlockEq(f.getFlat(flat), *want, flat);
+        EXPECT_EQ(f.lastCheck(), FetchCheck::Clean);
+    }
+}
+
+TEST(BlockFetcherDomain, RefetchRecoversWhatCrcOnlyDetects)
+{
+    DomainRig rig("pegwit", ProtectKind::Crc16);
+    Decompressor ref(rig.img, DecodeKernel::Checked);
+    BlockFetcher f(*rig.decomp, BlockFetcher::Options{}, nullptr,
+                   rig.domain.get());
+    u32 flat = firstBlockWithBytes(rig.img, 2);
+    Result<DecodedBlock> want = ref.tryDecompressBlock(
+        flat / kBlocksPerGroup, flat % kBlocksPerGroup);
+    ASSERT_TRUE(want.ok());
+
+    expectBlockEq(f.getFlat(flat), *want, flat);
+    f.quiesce();
+    flipWorkingBit(rig.img, flat, 9);
+    rig.domain->noteCorruption();
+
+    Result<const DecodedBlock *> r = f.tryGetFlat(flat);
+    ASSERT_TRUE(r.ok()) << r.error().describe();
+    expectBlockEq(**r, *want, flat);
+    EXPECT_EQ(f.lastCheck(), FetchCheck::Refetched);
+    EXPECT_GE(rig.domain->stats().refetches, 1u);
+    EXPECT_EQ(rig.domain->stats().unrecoverable, 0u);
+}
+
+TEST(BlockFetcherDomain, UnrecoverableSurfacesStructuredError)
+{
+    for (bool async : {false, true}) {
+        SCOPED_TRACE(async ? "async" : "sync");
+        DomainRig rig("pegwit", ProtectKind::Crc8);
+        BlockFetcher::Options opts;
+        opts.async = async;
+        BlockFetcher f(*rig.decomp, opts, nullptr, rig.domain.get());
+        u32 flat = firstBlockWithBytes(rig.img, 2);
+
+        (void)f.getFlat(flat);
+        f.quiesce();
+        // Damage the working copy AND the refetch source at the same
+        // bit: detection persists through the whole retry budget.
+        flipWorkingBit(rig.img, flat, 3);
+        rig.domain->corruptBacking(flat, 3);
+        rig.domain->noteCorruption();
+
+        Result<const DecodedBlock *> r = f.tryGetFlat(flat);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.error().status, DecodeStatus::SoftError);
+        EXPECT_NE(r.error().message.find(
+                      strfmt("group %u block %u", flat / kBlocksPerGroup,
+                             flat % kBlocksPerGroup)),
+                  std::string::npos)
+            << r.error().message;
+        EXPECT_EQ(f.lastCheck(), FetchCheck::Unrecoverable);
+        EXPECT_GE(f.poisons(), 1u);
+        EXPECT_EQ(rig.domain->stats().unrecoverable, 1u);
+
+        // Other blocks keep fetching normally after the failure.
+        u32 other = (flat + 1) % rig.img.numBlocks();
+        if (other != flat) {
+            EXPECT_TRUE(f.tryGetFlat(other).ok());
+        }
+    }
+}
+
+TEST(BlockFetcherDomain, SelfInjectionSoakStaysByteIdentical)
+{
+    // CPS_FLIP_RATE's mechanism at its most hostile setting: a flip
+    // injected on (up to) every fetch, SEC-DED correcting or the
+    // refetch path recovering each one — decode output never changes.
+    DomainRig rig("pegwit", ProtectKind::SecDed);
+    SoftErrorDomain soak(rig.img, /*seed=*/41,
+                         /*flip_rate_ppm=*/1000000, 2);
+    BlockFetcher f(*rig.decomp, BlockFetcher::Options{}, nullptr, &soak);
+    for (unsigned sweep = 0; sweep < 3; ++sweep) {
+        soak.noteCorruption(); // re-verify everything each sweep
+        checkByteIdentity(rig.img, f);
+    }
+    EXPECT_GT(soak.stats().flipsInjected, 0u);
+    EXPECT_GT(soak.stats().corrected, 0u);
+    EXPECT_EQ(soak.stats().unrecoverable, 0u);
+}
+
+TEST(BlockFetcherDomain, CountersConserveAccessesThroughPoisons)
+{
+    for (bool async : {false, true}) {
+        SCOPED_TRACE(async ? "async" : "sync");
+        DomainRig rig("go", ProtectKind::SecDed);
+        BlockFetcher::Options opts;
+        opts.async = async;
+        BlockFetcher f(*rig.decomp, opts, nullptr, rig.domain.get());
+        u32 n = rig.img.numBlocks();
+        u64 accesses = 0;
+        for (u32 b = 0; b < n; ++b, ++accesses)
+            ASSERT_TRUE(f.tryGetFlat(b).ok());
+        // Corrupt a few resident blocks, then sweep again: every
+        // poisoned re-decode must be accounted as a fill.
+        f.quiesce();
+        for (u32 b = 0; b < n; b += n / 7 + 1)
+            if (rig.img.blocks[b].byteLen > 0)
+                flipWorkingBit(rig.img, b, 1);
+        rig.domain->noteCorruption();
+        for (u32 b = 0; b < n; ++b, ++accesses)
+            ASSERT_TRUE(f.tryGetFlat(b).ok());
+        EXPECT_EQ(f.hits() + f.fills() + f.prefetchHits(), accesses);
+        EXPECT_GT(f.poisons(), 0u);
+        EXPECT_GT(rig.domain->stats().corrected, 0u);
+        // Verify-first repaired memory in place, so the whole image
+        // still decodes byte-identically.
+        checkByteIdentity(rig.img, f);
+    }
 }
 
 } // namespace

@@ -213,5 +213,160 @@ TEST(ImageFileCorrupt, DictionaryOverpopulationRejected)
     }
 }
 
+TEST(ImageFileProtect, ProtectedImageRoundTripsEveryKind)
+{
+    CompressedImage img = sampleImage();
+    for (ProtectKind kind : {ProtectKind::Crc8, ProtectKind::Crc16,
+                             ProtectKind::SecDed}) {
+        CompressedImage prot = img;
+        codepack::protectImage(prot, kind);
+        auto bytes = encodeImage(prot);
+        EXPECT_EQ(bytes[6], '3') << protectKindName(kind);
+        auto r = decodeImageChecked(bytes);
+        ASSERT_TRUE(r.ok()) << r.error().describe();
+        EXPECT_EQ(r->protectKind, kind);
+        EXPECT_EQ(r->blockCheck, prot.blockCheck);
+        EXPECT_EQ(r->blockCheckOff, prot.blockCheckOff);
+        EXPECT_EQ(r->indexCheck, prot.indexCheck);
+        EXPECT_EQ(r->comp.protectionBits, prot.comp.protectionBits);
+        // Protection never changes what the image decodes to.
+        codepack::Decompressor a(img), b(*r);
+        EXPECT_EQ(a.decompressAll(), b.decompressAll());
+    }
+}
+
+TEST(ImageFileProtect, UnprotectedImageEncodesAsV2)
+{
+    CompressedImage img = sampleImage();
+    auto plain = encodeImage(img);
+    EXPECT_EQ(plain[6], '2');
+    // Protecting and then stripping protection must reproduce the v2
+    // encoding byte for byte (the protection section is purely
+    // additive).
+    CompressedImage cycled = img;
+    codepack::protectImage(cycled, ProtectKind::SecDed);
+    codepack::protectImage(cycled, ProtectKind::None);
+    EXPECT_EQ(encodeImage(cycled), plain);
+}
+
+TEST(ImageFileProtect, ProtectionSectionCorruptionFailsItsCrc)
+{
+    CompressedImage prot = sampleImage();
+    codepack::protectImage(prot, ProtectKind::SecDed);
+    auto bytes = encodeImage(prot);
+    // The protection section is the file's final section; a flip in
+    // its payload (or its CRC) must be caught at load.
+    bytes[bytes.size() - 7] ^= 0x04;
+    auto r = decodeImageChecked(bytes);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().status, DecodeStatus::BadCrc);
+}
+
+TEST(ImageFileProtect, BadProtectionKindAndLengthsRejected)
+{
+    CompressedImage prot = sampleImage();
+    codepack::protectImage(prot, ProtectKind::SecDed);
+    auto bytes = encodeImage(prot);
+    // Layout from the back: kind(1) + len(4) + blockCheck + len(4) +
+    // indexCheck + sectionCrc(4).
+    size_t kind_at = bytes.size() - 4 - prot.indexCheck.size() - 4 -
+                     prot.blockCheck.size() - 4 - 1;
+    codepack::ImageLoadOptions loose;
+    loose.verifyCrc = false;
+
+    std::vector<u8> bad_kind = bytes;
+    bad_kind[kind_at] = 0xEE;
+    auto r = decodeImageChecked(bad_kind, loose);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().status, DecodeStatus::Malformed);
+    EXPECT_NE(r.error().message.find("protection kind"),
+              std::string::npos);
+
+    std::vector<u8> bad_len = bytes;
+    patch32(bad_len, kind_at + 1,
+            static_cast<u32>(prot.blockCheck.size()) + 3);
+    auto r2 = decodeImageChecked(bad_len, loose);
+    ASSERT_FALSE(r2.ok());
+    EXPECT_TRUE(r2.error().status == DecodeStatus::Malformed ||
+                r2.error().status == DecodeStatus::Truncated)
+        << r2.error().describe();
+}
+
+TEST(ImageFileProtect, ValidateImageChecksProtectionConsistency)
+{
+    CompressedImage prot = sampleImage();
+    codepack::protectImage(prot, ProtectKind::Crc16);
+    ASSERT_TRUE(codepack::validateImage(prot).ok());
+
+    CompressedImage short_checks = prot;
+    short_checks.blockCheck.pop_back();
+    auto r = codepack::validateImage(short_checks);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().status, DecodeStatus::BadHeader);
+
+    CompressedImage stray = sampleImage();
+    stray.blockCheck.assign(4, 0);
+    EXPECT_FALSE(codepack::validateImage(stray).ok());
+}
+
+// Decode-path corruption diagnostics must identify the block uniformly:
+// every message names "group G block B" and the error carries the bit
+// offset of the failure (describe() renders both).
+TEST(ImageFileProtect, DecodeErrorsNameGroupBlockAndBitOffset)
+{
+    CompressedImage img = sampleImage();
+    codepack::Decompressor d(img);
+
+    auto oob = d.tryDecompressBlock(999999, 0);
+    ASSERT_FALSE(oob.ok());
+    EXPECT_NE(oob.error().message.find("group 999999 block 0"),
+              std::string::npos)
+        << oob.error().message;
+
+    auto oob_block = d.tryDecompressBlock(0, codepack::kBlocksPerGroup);
+    ASSERT_FALSE(oob_block.ok());
+    EXPECT_NE(oob_block.error().message.find("group 0 block"),
+              std::string::npos)
+        << oob_block.error().message;
+
+    // Point an index entry past the compressed region: the structured
+    // error must name the block and carry a bit offset.
+    CompressedImage bent = img;
+    bent.indexTable[1] = 0x00FFFFFFu;
+    codepack::Decompressor db(bent);
+    auto r = db.tryDecompressBlock(1, 0);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("group 1 block 0"),
+              std::string::npos)
+        << r.error().message;
+    EXPECT_NE(r.error().describe().find("bit "), std::string::npos);
+
+    // Sweep stream corruptions; every rejection must follow the
+    // "group G block B" convention.
+    CompressedImage mut = img;
+    unsigned rejected = 0;
+    for (size_t at = 0; at < mut.bytes.size() && rejected < 25;
+         at += (mut.bytes.size() / 131) + 1) {
+        u8 saved = mut.bytes[at];
+        mut.bytes[at] = static_cast<u8>(~saved);
+        codepack::Decompressor dm(mut);
+        for (u32 g = 0; g < mut.numGroups(); ++g) {
+            for (u32 b = 0; b < codepack::kBlocksPerGroup; ++b) {
+                auto res = dm.tryDecompressBlock(g, b);
+                if (res.ok())
+                    continue;
+                ++rejected;
+                EXPECT_NE(res.error().message.find("group "),
+                          std::string::npos)
+                    << res.error().message;
+                EXPECT_NE(res.error().message.find("block "),
+                          std::string::npos)
+                    << res.error().message;
+            }
+        }
+        mut.bytes[at] = saved;
+    }
+}
+
 } // namespace
 } // namespace cps
